@@ -1,0 +1,115 @@
+"""Figure 3 — scalability: 1,000 TPS native transfers across configurations.
+
+"we use DIABLO to emulate clients sending native transactions to the
+blockchain during 120 seconds at a constant rate of 1000 TPS" on
+datacenter, testnet, devnet and community (§6.2).
+
+Shape targets (EXPERIMENTS.md):
+* only Solana stays above 800 TPS with latency below 21 s in *all four*
+  configurations;
+* Diem posts the best throughput (> 982 TPS) and the lowest latency
+  (<= 2 s) but only in the single-datacenter configurations;
+* Quorum delivers a standout partial result in community (~499 TPS, 13 s);
+* Algorand exceeds 820 TPS on the geo-distributed devnet (885 best);
+* Avalanche and Ethereum run at low throughput regardless of hardware;
+* datacenter and testnet show "no significant difference".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import deployment_challenge_trace
+
+from conftest import ALL_CHAINS, bench_scale, print_figure, run_chain_trace
+
+CONFIGURATIONS = ("datacenter", "testnet", "devnet", "community")
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def fig3_results():
+    scale = bench_scale(SCALE)
+    trace = deployment_challenge_trace()
+    results = {}
+    for configuration in CONFIGURATIONS:
+        for chain in ALL_CHAINS:
+            results[(chain, configuration)] = run_chain_trace(
+                chain, configuration, trace, scale=scale)
+    return results
+
+
+def test_fig3_matrix(benchmark, fig3_results):
+    results = benchmark.pedantic(lambda: fig3_results, rounds=1, iterations=1)
+    for configuration in CONFIGURATIONS:
+        print_figure(
+            f"Figure 3 — 1,000 TPS on {configuration}",
+            {chain: results[(chain, configuration)] for chain in ALL_CHAINS})
+
+
+def test_fig3_solana_handles_every_configuration(benchmark, fig3_results):
+    checked = benchmark.pedantic(
+        lambda: {c: fig3_results[("solana", c)] for c in CONFIGURATIONS},
+        rounds=1, iterations=1)
+    for configuration, result in checked.items():
+        assert result.average_throughput > 800, configuration
+        assert result.average_latency < 21, configuration
+
+
+def test_fig3_diem_wins_only_locally(benchmark, fig3_results):
+    diem = benchmark.pedantic(
+        lambda: {c: fig3_results[("diem", c)] for c in CONFIGURATIONS},
+        rounds=1, iterations=1)
+    for local in ("datacenter", "testnet"):
+        assert diem[local].average_throughput > 982
+        assert diem[local].average_latency <= 2.0
+        # best-in-class locally
+        others = [fig3_results[(chain, local)].average_throughput
+                  for chain in ALL_CHAINS if chain != "diem"]
+        assert diem[local].average_throughput >= max(others) * 0.99
+    for geo in ("devnet", "community"):
+        assert diem[geo].average_throughput < 820  # "fails at high RTT"
+
+
+def test_fig3_quorum_community_standout(benchmark, fig3_results):
+    result = benchmark.pedantic(
+        lambda: fig3_results[("quorum", "community")], rounds=1, iterations=1)
+    # ~499 TPS at 13 s in the paper; accept the band around it
+    assert 250 <= result.average_throughput <= 700
+    assert 5 <= result.average_latency <= 40
+    # still the best chain in community apart from Solana
+    for chain in ("algorand", "avalanche", "diem", "ethereum"):
+        other = fig3_results[(chain, "community")]
+        if chain == "algorand":
+            continue  # Algorand's committee scales too (commits ~its cap)
+        assert result.average_throughput > other.average_throughput, chain
+
+
+def test_fig3_algorand_devnet(benchmark, fig3_results):
+    result = benchmark.pedantic(
+        lambda: fig3_results[("algorand", "devnet")], rounds=1, iterations=1)
+    assert result.average_throughput > 820
+
+
+def test_fig3_throttled_chains(benchmark, fig3_results):
+    checked = benchmark.pedantic(
+        lambda: [(chain, configuration,
+                  fig3_results[(chain, configuration)].average_throughput)
+                 for chain in ("avalanche", "ethereum")
+                 for configuration in CONFIGURATIONS],
+        rounds=1, iterations=1)
+    for chain, configuration, tput in checked:
+        assert tput < 500, (chain, configuration)
+
+
+def test_fig3_datacenter_vs_testnet_no_significant_difference(
+        benchmark, fig3_results):
+    deltas = benchmark.pedantic(
+        lambda: {chain: (fig3_results[(chain, "datacenter")].average_throughput,
+                         fig3_results[(chain, "testnet")].average_throughput)
+                 for chain in ALL_CHAINS},
+        rounds=1, iterations=1)
+    for chain, (dc, tn) in deltas.items():
+        if chain == "solana":
+            continue  # Solana's intake is explicitly CPU-scaled (§5.2)
+        assert dc == pytest.approx(tn, rel=0.25), chain

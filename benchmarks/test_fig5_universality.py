@@ -1,0 +1,71 @@
+"""Figure 5 — universality: the Mobility DApp on the consortium.
+
+"we use the Mobility service DApp, which is CPU intensive and generates a
+810-900 TPS workload during 120 seconds ... a cross indicates that the
+blockchain cannot run the Mobility Service DApp" (§6.4).
+
+Shape targets:
+* Algorand, Diem and Solana cannot execute it — the client reports
+  "budget exceeded" (hard-coded VM limits, not liftable by paying more);
+* the three geth-EVM chains (Avalanche, Ethereum, Quorum) execute it;
+* Quorum posts the highest throughput; Avalanche and Ethereum stay low.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import uber_trace
+
+from conftest import ALL_CHAINS, bench_scale, print_figure, run_chain_trace
+
+SCALE = 0.05
+GETH_CHAINS = ("avalanche", "ethereum", "quorum")
+RESTRICTED_CHAINS = ("algorand", "diem", "solana")
+
+
+@pytest.fixture(scope="module")
+def fig5_results():
+    scale = bench_scale(SCALE)
+    trace = uber_trace()
+    return {chain: run_chain_trace(chain, "consortium", trace, scale=scale)
+            for chain in ALL_CHAINS}
+
+
+def test_fig5_rows(benchmark, fig5_results):
+    results = benchmark.pedantic(lambda: fig5_results, rounds=1, iterations=1)
+    print_figure("Figure 5 — Mobility/Uber DApp on consortium", results)
+    for chain in RESTRICTED_CHAINS:
+        if results[chain].execution_failed():
+            print(f"  {chain}: X (cannot run the Mobility Service DApp)")
+
+
+def test_fig5_restricted_vms_report_budget_exceeded(benchmark, fig5_results):
+    failures = benchmark.pedantic(
+        lambda: {chain: fig5_results[chain] for chain in RESTRICTED_CHAINS},
+        rounds=1, iterations=1)
+    for chain, result in failures.items():
+        assert result.execution_failed(), chain
+        assert result.abort_reasons().get("budget_exceeded", 0) > 0, chain
+        assert result.average_throughput == 0, chain
+
+
+def test_fig5_geth_chains_execute(benchmark, fig5_results):
+    runs = benchmark.pedantic(
+        lambda: {chain: fig5_results[chain] for chain in GETH_CHAINS},
+        rounds=1, iterations=1)
+    for chain, result in runs.items():
+        assert not result.execution_failed(), chain
+        assert result.average_throughput > 0, chain
+
+
+def test_fig5_quorum_wins(benchmark, fig5_results):
+    quorum = benchmark.pedantic(lambda: fig5_results["quorum"],
+                                rounds=1, iterations=1)
+    # paper: Quorum 622 TPS, "close to the average workload"; the others
+    # "lower than 169 TPS"
+    assert quorum.average_throughput > 200
+    for chain in ("avalanche", "ethereum"):
+        other = fig5_results[chain]
+        assert other.average_throughput < 169
+        assert quorum.average_throughput > 3 * other.average_throughput

@@ -1,0 +1,105 @@
+"""Table 3 — deployment configurations and the inter-region network.
+
+Left side: the five configurations (nodes, hardware, regions). Right side:
+an iperf3-style measurement through the simulated network, which must
+return the RTT/bandwidth values the paper measured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import RngFactory
+from repro.sim.deployment import CONFIGURATIONS
+from repro.sim.engine import Engine
+from repro.sim.network import (
+    REGIONS,
+    Endpoint,
+    Network,
+    bandwidth_between,
+    rtt_between,
+)
+
+
+def test_table3_configurations(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [{
+            "configuration": config.name,
+            "nodes": config.node_count,
+            "vcpus": config.instance_type.vcpus,
+            "memory_gib": config.instance_type.memory // 1024**3,
+            "regions": len(set(config.regions)),
+        } for config in CONFIGURATIONS.values()],
+        rounds=1, iterations=1)
+    print("\n=== Table 3 (left): configurations ===")
+    for row in rows:
+        print(row)
+    by_name = {row["configuration"]: row for row in rows}
+    assert by_name["datacenter"] == {"configuration": "datacenter",
+                                     "nodes": 10, "vcpus": 36,
+                                     "memory_gib": 72, "regions": 1}
+    assert by_name["testnet"]["vcpus"] == 4
+    assert by_name["community"]["nodes"] == 200
+    assert by_name["consortium"] == {"configuration": "consortium",
+                                     "nodes": 200, "vcpus": 8,
+                                     "memory_gib": 16, "regions": 10}
+
+
+def _iperf(src_region: str, dst_region: str) -> dict:
+    """Measure one region pair through the event-driven network."""
+    engine = Engine()
+    net = Network(engine, RngFactory(1), jitter_cv=0.0)
+    src = Endpoint("iperf-src", src_region)
+    dst = Endpoint("iperf-dst", dst_region)
+    # RTT probe: tiny payload there and back
+    done = {}
+    net.send(src, dst, 1,
+             lambda: net.send(dst, src, 1,
+                              lambda: done.setdefault("rtt", engine.now)))
+    engine.run()
+    # bandwidth probe: 10 MB bulk transfer
+    engine2 = Engine()
+    net2 = Network(engine2, RngFactory(1), jitter_cv=0.0)
+    size = 10_000_000
+    net2.send(src, dst, size, lambda: done.setdefault("bulk", engine2.now))
+    engine2.run()
+    transfer_time = done["bulk"] - rtt_between(src_region, dst_region) / 2
+    return {
+        "pair": f"{src_region}->{dst_region}",
+        "rtt_ms": done["rtt"] * 1000,
+        "bandwidth_mbps": size * 8 / transfer_time / 1e6,
+    }
+
+
+def test_table3_network_measurements(benchmark):
+    pairs = [("ohio", "tokyo"), ("sydney", "cape-town"),
+             ("stockholm", "milan"), ("mumbai", "bahrain")]
+    rows = benchmark.pedantic(
+        lambda: [_iperf(a, b) for a, b in pairs], rounds=1, iterations=1)
+    print("\n=== Table 3 (right): measured network ===")
+    for row in rows:
+        print({k: round(v, 2) if isinstance(v, float) else v
+               for k, v in row.items()})
+    for (a, b), row in zip(pairs, rows):
+        assert row["rtt_ms"] == pytest.approx(
+            rtt_between(a, b) * 1000, rel=0.02)
+        assert row["bandwidth_mbps"] == pytest.approx(
+            bandwidth_between(a, b) * 8 / 1e6, rel=0.05)
+
+
+def test_table3_rtt_extremes(benchmark):
+    """Sydney<->Cape Town is the slowest path (410 ms) and
+    Milan<->Stockholm the fastest inter-region one (30 ms) — as in the
+    measured matrix."""
+    def extremes():
+        values = {(a, b): rtt_between(a, b)
+                  for a in REGIONS for b in REGIONS if a < b}
+        slowest = max(values, key=values.get)
+        fastest = min(values, key=values.get)
+        return slowest, fastest
+
+    slowest, fastest = benchmark.pedantic(extremes, rounds=1, iterations=1)
+    assert set(slowest) == {"sydney", "cape-town"}
+    assert rtt_between(*slowest) == pytest.approx(0.4104)
+    assert set(fastest) == {"milan", "stockholm"}
+    assert rtt_between(*fastest) == pytest.approx(0.0302)

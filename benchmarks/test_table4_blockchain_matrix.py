@@ -1,0 +1,45 @@
+"""Table 4 — characteristics of the six evaluated blockchains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.summary import format_table
+from repro.blockchains.registry import characteristics_table
+
+
+def test_table4_blockchain_characteristics(benchmark):
+    rows = benchmark.pedantic(characteristics_table, rounds=1, iterations=1)
+    print("\n=== Table 4: evaluated blockchains ===")
+    print(format_table(rows))
+    by_name = {row["blockchain"]: row for row in rows}
+
+    # the exact matrix of the paper's Table 4
+    expected = {
+        "algorand": ("probabilistic", "BA*", "avm", "PyTeal"),
+        "avalanche": ("probabilistic", "Avalanche", "geth-evm", "Solidity"),
+        "diem": ("deterministic", "HotStuff", "move-vm", "Move"),
+        "quorum": ("deterministic", "IBFT", "geth-evm", "Solidity"),
+        "ethereum": ("eventual", "Clique", "geth-evm", "Solidity"),
+        "solana": ("eventual", "TowerBFT", "ebpf", "Solidity"),
+    }
+    assert len(rows) == 6
+    for chain, (props, consensus, vm, language) in expected.items():
+        row = by_name[chain]
+        assert row["properties"] == props, chain
+        assert row["consensus"] == consensus, chain
+        assert row["vm"] == vm, chain
+        assert row["dapp_language"] == language, chain
+
+
+def test_table4_property_classes(benchmark):
+    """Two deterministic chains (the leader-based BFT pair), two
+    probabilistic, two eventually-consistent — the classes §6 groups
+    results by."""
+    rows = benchmark.pedantic(characteristics_table, rounds=1, iterations=1)
+    classes = {}
+    for row in rows:
+        classes.setdefault(row["properties"], []).append(row["blockchain"])
+    assert sorted(classes["deterministic"]) == ["diem", "quorum"]
+    assert sorted(classes["probabilistic"]) == ["algorand", "avalanche"]
+    assert sorted(classes["eventual"]) == ["ethereum", "solana"]

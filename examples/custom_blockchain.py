@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Adding a new blockchain to DIABLO (§4's extensibility claim).
+
+The paper: "To add a new blockchain, one has to implement at least one of
+these interaction types as well as 4 functions" — here we add a fictional
+chain, *Redwood*, a leaderless deterministic BFT design in the spirit of
+the Red Belly Blockchain the paper cites [40] as immune to the overload
+collapse of leader-based BFT.
+
+Redwood reuses the geth EVM and a leader-BFT latency model without the
+per-leader bottlenecks (no pool-management overhead, no round-change
+collapse: superblock consensus commits every proposal). We then rerun the
+§6.3 robustness experiment: unlike Quorum, Redwood keeps its throughput
+under 10x overload — matching what [40] reports for Smart Red Belly.
+"""
+
+from __future__ import annotations
+
+from repro.blockchains.base import ChainParams
+from repro.chain.mempool import MempoolPolicy
+from repro.consensus.models import LeaderBFTPerf, WanProfile
+from repro.core.primary import Primary
+from repro.crypto.signing import ED25519
+from repro.workloads import constant_transfer_trace
+
+
+def redwood_perf(profile: WanProfile) -> LeaderBFTPerf:
+    """Leaderless rounds: one gossip + two vote phases, no leader state."""
+    return LeaderBFTPerf(
+        profile,
+        phases=2,
+        base_overhead=0.05,
+        pool_overhead_per_tx=0.0,     # no per-leader tx-pool bottleneck
+        admission_cpu_per_tx=0.0,
+        round_timeout=30.0,           # superblock rounds never stall
+        overload_gamma=0.05,          # graceful degradation
+        min_block_interval=0.5,
+        pipeline_depth=2.0)
+
+
+def redwood_params() -> ChainParams:
+    return ChainParams(
+        name="redwood",
+        consensus_name="LeaderlessBFT",
+        properties="deterministic",
+        vm_name="geth-evm",
+        dapp_language="Solidity",
+        signature_scheme=ED25519,
+        block_tx_limit=4_000,
+        mempool_policy=MempoolPolicy(capacity=200_000, evict_oldest=True),
+        confirmation_depth=0,
+        commit_api="stream",
+        exec_parallelism=8.0,
+        perf_model=redwood_perf)
+
+
+def run_redwood(rate: float, configuration: str = "datacenter",
+                scale: float = 0.05):
+    primary = Primary("redwood", configuration, scale=scale, seed=1,
+                      params=redwood_params())
+    trace = constant_transfer_trace(rate)
+    return primary.run(trace.spec(accounts=2_000), trace.name, drain=240)
+
+
+def main() -> None:
+    print("Redwood — a custom chain plugged into the DIABLO abstraction\n")
+    for rate in (1_000, 10_000):
+        result = run_redwood(rate)
+        print(f"constant {rate:>6.0f} TPS:"
+              f" throughput {result.average_throughput:7.0f} TPS,"
+              f" latency {result.average_latency:5.1f}s,"
+              f" commit ratio {result.commit_ratio:5.1%}")
+    print("\nUnlike Quorum (Fig. 4), the leaderless design does not"
+          " collapse at 10,000 TPS.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Mobility service DApp — the universality experiment (§6.4 / Fig. 5).
+
+Sends the Uber workload (810-900 TPS of ``checkDistance`` calls, each
+scanning 10,000 drivers with Newton integer square roots) to all six
+blockchains on the consortium configuration.
+
+Expected outcome, as in the paper: Algorand, Diem and Solana report
+"budget exceeded" — their VMs hard-cap per-transaction computation — while
+the geth-EVM chains (Avalanche, Ethereum, Quorum) execute the contract,
+with Quorum far in front.
+"""
+
+from __future__ import annotations
+
+from repro import run_trace
+from repro.workloads import uber_trace
+
+CHAINS = ("algorand", "avalanche", "diem", "ethereum", "quorum", "solana")
+
+
+def main() -> None:
+    trace = uber_trace()
+    print(f"Uber workload: {trace.average_tps:.0f} TPS average,"
+          f" {trace.duration:.0f} s, function {trace.function}()"
+          f" over 10,000 drivers\n")
+    print(f"{'chain':12s} {'outcome':28s} {'tput (TPS)':>12s}"
+          f" {'latency (s)':>12s}")
+    for chain in CHAINS:
+        result = run_trace(chain, "consortium", trace,
+                           accounts=2_000, scale=0.05)
+        if result.execution_failed():
+            reason = result.abort_reasons()
+            outcome = f"X budget exceeded ({reason['budget_exceeded']} tx)"
+            print(f"{chain:12s} {outcome:28s} {'-':>12s} {'-':>12s}")
+        else:
+            print(f"{chain:12s} {'executes the DApp':28s}"
+                  f" {result.average_throughput:12.0f}"
+                  f" {result.average_latency:12.1f}")
+
+
+if __name__ == "__main__":
+    main()

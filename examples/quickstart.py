@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: benchmark one blockchain with one workload.
+
+Runs the paper's deployment challenge (§6.2) — native transfers at a
+constant 1,000 TPS for 120 seconds — against Quorum deployed in the
+testnet configuration (10 c5.xlarge machines in one datacenter), then
+prints the summary statistics and a short time series.
+
+Usage:
+    python examples/quickstart.py [chain] [configuration]
+
+e.g. ``python examples/quickstart.py solana devnet``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import run_trace
+from repro.analysis import throughput_timeseries, transactions_to_csv
+from repro.workloads import deployment_challenge_trace
+
+
+def main() -> None:
+    chain = sys.argv[1] if len(sys.argv) > 1 else "quorum"
+    configuration = sys.argv[2] if len(sys.argv) > 2 else "testnet"
+
+    print(f"Benchmarking {chain} on the {configuration} configuration "
+          f"(1,000 TPS native transfers, 120 s)...")
+    result = run_trace(chain, configuration, deployment_challenge_trace(),
+                       accounts=2_000, scale=0.05)
+
+    summary = result.summary()
+    print("\n--- summary ---")
+    for key in ("average_load_tps", "average_throughput_tps",
+                "average_latency_s", "median_latency_s", "commit_ratio"):
+        print(f"{key:26s} {summary[key]}")
+    if summary["aborts"]:
+        print(f"{'aborts':26s} {summary['aborts']}")
+
+    print("\n--- throughput time series (every 20 s) ---")
+    for row in throughput_timeseries(result, bin_size=1.0)[::20]:
+        print(f"t={row['time']:6.0f}s  load={row['load_tps']:8.1f} TPS"
+              f"  throughput={row['throughput_tps']:8.1f} TPS")
+
+    print("\n--- first transactions (csv-results format) ---")
+    for line in transactions_to_csv(result).splitlines()[:6]:
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — a Python reproduction of DIABLO (EuroSys 2023).
+
+DIABLO is a benchmark suite evaluating blockchains with realistic
+decentralized applications. This package reimplements the full system as a
+deterministic discrete-event simulation: the DIABLO framework itself
+(Primary/Secondary load generation, the blockchain abstraction, the
+workload specification language), the five DApp workloads, and simulated
+versions of the six evaluated blockchains (Algorand, Avalanche, Diem,
+Ethereum, Quorum, Solana) down to their consensus protocols, virtual
+machines and mempool policies.
+
+Quickstart::
+
+    from repro import run_trace
+    from repro.workloads import deployment_challenge_trace
+
+    result = run_trace("quorum", "testnet", deployment_challenge_trace(),
+                       scale=0.1, accounts=200)
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.blockchains.base import ExperimentScale
+from repro.core.primary import Primary
+from repro.core.results import BenchmarkResult
+from repro.core.runner import run_benchmark, run_matrix, run_trace
+from repro.core.spec import LoadSchedule, WorkloadSpec, load_spec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkResult",
+    "ExperimentScale",
+    "LoadSchedule",
+    "Primary",
+    "WorkloadSpec",
+    "__version__",
+    "load_spec",
+    "run_benchmark",
+    "run_matrix",
+    "run_trace",
+]

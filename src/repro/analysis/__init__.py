@@ -1,0 +1,21 @@
+"""Result analysis: CSV export, comparison tables, time series, CDFs."""
+
+from repro.analysis.summary import (
+    CSV_COLUMNS,
+    cdf_points,
+    comparison_table,
+    format_table,
+    results_to_csv,
+    throughput_timeseries,
+    transactions_to_csv,
+)
+
+__all__ = [
+    "CSV_COLUMNS",
+    "cdf_points",
+    "comparison_table",
+    "format_table",
+    "results_to_csv",
+    "throughput_timeseries",
+    "transactions_to_csv",
+]

@@ -1,0 +1,132 @@
+"""Post-mortem analysis of benchmark results.
+
+The real DIABLO ships a ``csv-results`` script converting the Primary's
+JSON output to CSV rows (artifact appendix A.3); this module reproduces
+that plus the aggregations the paper's figures are built from.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.results import BenchmarkResult
+
+CSV_COLUMNS = (
+    "chain", "configuration", "workload", "submitted", "committed",
+    "average_load_tps", "average_throughput_tps", "average_latency_s",
+    "median_latency_s", "commit_ratio",
+)
+
+
+def results_to_csv(results: Iterable[BenchmarkResult]) -> str:
+    """One CSV row per benchmark run (the csv-results equivalent)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS)
+    writer.writeheader()
+    for result in results:
+        summary = result.summary()
+        writer.writerow({
+            "chain": summary["chain"],
+            "configuration": summary["configuration"],
+            "workload": summary["workload"],
+            "submitted": summary["submitted"],
+            "committed": sum(1 for r in result.records if r.committed),
+            "average_load_tps": summary["average_load_tps"],
+            "average_throughput_tps": summary["average_throughput_tps"],
+            "average_latency_s": summary["average_latency_s"],
+            "median_latency_s": summary["median_latency_s"],
+            "commit_ratio": summary["commit_ratio"],
+        })
+    return buffer.getvalue()
+
+
+def transactions_to_csv(result: BenchmarkResult) -> str:
+    """Per-transaction CSV: submission time and commit latency.
+
+    Mirrors the artifact's per-line output ("the first submitted transaction
+    for Algorand at time 0.10 second took 0.53 seconds to commit").
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["submitted_at", "latency_s", "committed", "abort_reason"])
+    for record in sorted(result.records, key=lambda r: r.submitted_at):
+        writer.writerow([
+            f"{record.submitted_at:.2f}",
+            f"{record.latency:.2f}" if record.latency is not None else "",
+            int(record.committed),
+            record.abort_reason or "",
+        ])
+    return buffer.getvalue()
+
+
+def comparison_table(results: Dict[str, BenchmarkResult],
+                     metrics: Sequence[str] = ("average_throughput_tps",
+                                               "average_latency_s",
+                                               "commit_ratio")) -> List[Dict]:
+    """Rows comparing chains on the same workload (a figure's bars)."""
+    rows = []
+    for chain, result in sorted(results.items()):
+        summary = result.summary()
+        row = {"chain": chain}
+        for metric in metrics:
+            row[metric] = summary[metric]
+        rows.append(row)
+    return rows
+
+
+def format_table(rows: List[Dict], float_format: str = "{:.2f}") -> str:
+    """Render rows as an aligned text table (for bench stdout)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered: List[List[str]] = [columns]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column)
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(line[i]) for line in rendered)
+              for i in range(len(columns))]
+    lines = []
+    for line_index, line in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(line)))
+        if line_index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def throughput_timeseries(result: BenchmarkResult,
+                          bin_size: float = 1.0) -> List[Dict[str, float]]:
+    """Per-second load vs throughput rows (the paper's time series)."""
+    times, tput = result.throughput_series(bin_size)
+    _, load = result.load_series(bin_size)
+    rows = []
+    for i, t in enumerate(times):
+        rows.append({
+            "time": float(t),
+            "load_tps": float(load[i]) if i < load.size else 0.0,
+            "throughput_tps": float(tput[i]),
+        })
+    return rows
+
+
+def cdf_points(result: BenchmarkResult,
+               max_points: int = 200) -> List[Dict[str, float]]:
+    """Down-sampled latency-CDF points for plotting (Fig. 6 style)."""
+    latencies, fractions = result.latency_cdf()
+    if latencies.size == 0:
+        return []
+    if latencies.size > max_points:
+        idx = np.linspace(0, latencies.size - 1, max_points).astype(int)
+        latencies, fractions = latencies[idx], fractions[idx]
+    return [{"latency_s": float(l), "fraction": float(f)}
+            for l, f in zip(latencies, fractions)]

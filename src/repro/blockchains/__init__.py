@@ -1,0 +1,17 @@
+"""The six simulated blockchains and their shared runtime."""
+
+from repro.blockchains.base import (
+    BlockchainNetwork,
+    ChainParams,
+    ExperimentScale,
+    SubmissionResult,
+    default_scale,
+)
+
+__all__ = [
+    "BlockchainNetwork",
+    "ChainParams",
+    "ExperimentScale",
+    "SubmissionResult",
+    "default_scale",
+]

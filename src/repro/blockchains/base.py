@@ -1,0 +1,454 @@
+"""The simulated blockchain runtime.
+
+A :class:`BlockchainNetwork` assembles, for one chain in one deployment
+configuration, everything the paper's evaluation exercises:
+
+* validator machines in their regions (Table 3) with CPU accounting;
+* a memory pool with the chain's admission/drop policy (§5.2 quirks:
+  Diem's 100-transactions-per-signer quota, Solana's 120-second recent
+  block hash window — modeled as pool expiry — Ethereum/Avalanche fee
+  dynamics);
+* the chain's virtual machine executing every transaction of every block
+  (real receipts, real gas, real budget failures);
+* an analytic consensus performance model (:mod:`repro.consensus.models`)
+  driving block cadence, decision latency and overload behaviour;
+* a ledger applying the chain's confirmation depth (Solana: 30);
+* the client-visible commit-detection path (web-socket streaming vs block
+  polling vs blocking calls, §5.2).
+
+Transactions carry their DIABLO submit/commit timestamps, so a benchmark
+run produces exactly the per-transaction records the paper's Primary
+aggregates.
+
+Scaling: an :class:`ExperimentScale` of ``s`` shrinks offered rates and all
+rate-like capacities (block payload caps, mempool bounds) by ``s`` while
+inflating per-transaction CPU and wire size by ``1/s``, preserving every
+dimensionless ratio (utilisation, stress, blocks-per-second). DESIGN.md
+documents this as the laptop-scale substitution; ``REPRO_SCALE=1`` runs
+full scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.account import AccountFactoryLimits, AccountRegistry
+from repro.chain.block import Block
+from repro.chain.ledger import Ledger
+from repro.chain.mempool import Mempool, MempoolPolicy
+from repro.chain.receipt import ExecStatus, Receipt
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.common.errors import (
+    ChainError,
+    ConfigurationError,
+    DeploymentError,
+    MempoolFullError,
+)
+from repro.common.rng import RngFactory
+from repro.consensus.models import (
+    BlockAttempt,
+    ConsensusPerfModel,
+    WanProfile,
+)
+from repro.crypto.signing import ECDSA, SignatureScheme
+from repro.sim.deployment import DeploymentConfig
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine
+from repro.sim.network import Endpoint
+from repro.vm.base import VirtualMachine
+from repro.vm.machines import VM_FACTORIES
+from repro.vm.program import Contract
+
+
+def default_scale() -> float:
+    """Experiment scale factor from the ``REPRO_SCALE`` environment."""
+    return float(os.environ.get("REPRO_SCALE", "0.1"))
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Linear scale transform for laptop-sized runs (see module docstring)."""
+
+    factor: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.factor <= 1:
+            raise ConfigurationError(
+                f"scale factor must be in (0, 1], got {self.factor}")
+
+    def rate(self, tps: float) -> float:
+        """Scale an offered rate."""
+        return tps * self.factor
+
+    def capacity(self, value: Optional[int]) -> Optional[int]:
+        """Scale a rate-like capacity (block caps, mempool bounds)."""
+        if value is None:
+            return None
+        return max(1, int(round(value * self.factor)))
+
+    def inflate_cpu(self, seconds: float) -> float:
+        """Inflate per-transaction CPU so utilisation is preserved."""
+        return seconds / self.factor
+
+    def inflate_bytes(self, size: int) -> int:
+        """Inflate per-transaction wire size so block bytes are preserved."""
+        return int(size / self.factor)
+
+
+@dataclass(frozen=True)
+class ChainParams:
+    """Everything configurable about one blockchain (Table 4 + §5.2)."""
+
+    name: str
+    consensus_name: str
+    properties: str                      # "deterministic"/"probabilistic"/"eventual"
+    vm_name: str                         # key into VM_FACTORIES
+    dapp_language: str
+    signature_scheme: SignatureScheme = ECDSA
+    block_gas_limit: Optional[int] = None
+    block_tx_limit: Optional[int] = None
+    block_gas_per_vcpu: Optional[int] = None  # Solana: CPU-bound intake
+    block_bytes_limit: Optional[int] = None
+    mempool_policy: MempoolPolicy = field(default_factory=MempoolPolicy)
+    confirmation_depth: int = 0
+    commit_api: str = "stream"           # "stream" | "poll" | "blocking"
+    poll_interval: float = 1.0
+    tx_expiry: Optional[float] = None    # Solana's 120 s blockhash window
+    account_limits: AccountFactoryLimits = field(
+        default_factory=AccountFactoryLimits)
+    exec_parallelism: float = 1.0        # execution threads (geth: ~1)
+    gossip_hop: float = 0.08             # client tx -> proposer gossip delay
+    perf_model: Callable[[WanProfile], ConsensusPerfModel] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.commit_api not in ("stream", "poll", "blocking"):
+            raise ConfigurationError(f"bad commit_api {self.commit_api!r}")
+        if self.perf_model is None:
+            raise ConfigurationError(f"{self.name}: perf_model is required")
+
+
+@dataclass
+class SubmissionResult:
+    """Outcome of handing one transaction to a node."""
+
+    accepted: bool
+    reason: Optional[str] = None
+
+
+class BlockchainNetwork:
+    """One chain deployed in one configuration, running on the engine."""
+
+    def __init__(self, params: ChainParams, deployment: DeploymentConfig,
+                 engine: Engine, scale: Optional[ExperimentScale] = None,
+                 seed: int = 0) -> None:
+        self.params = params
+        self.deployment = deployment
+        self.engine = engine
+        self.scale = scale or ExperimentScale(default_scale())
+        self.rng = RngFactory(seed).child("chain", params.name)
+        self.endpoints: List[Endpoint] = deployment.endpoints(
+            prefix=f"{params.name}-node")
+        self.machines: List[Machine] = [
+            Machine(engine, ep, deployment.instance_type)
+            for ep in self.endpoints]
+        self.profile = WanProfile([ep.region for ep in self.endpoints])
+        self.model = params.perf_model(self.profile)
+        self.vm: VirtualMachine = VM_FACTORIES[params.vm_name]()
+        self.state = WorldState()
+        self.ledger = Ledger(confirmation_depth=params.confirmation_depth)
+        policy = replace(
+            params.mempool_policy,
+            capacity=self.scale.capacity(params.mempool_policy.capacity),
+            per_sender_quota=self.scale.capacity(
+                params.mempool_policy.per_sender_quota))
+        self.mempool = Mempool(policy)
+        self.accounts = AccountRegistry(params.signature_scheme,
+                                        params.account_limits,
+                                        namespace=f"{params.name}-acct")
+        # block payload caps, unscaled (the per-block pop scales them)
+        gas_cap = params.block_gas_limit
+        if params.block_gas_per_vcpu is not None:
+            # CPU-bound block intake (Solana): the per-slot payload scales
+            # with the validator's core count — the reason the Solana team
+            # calls c5.xlarge "insufficient" (Acknowledgments)
+            cpu_cap = params.block_gas_per_vcpu * deployment.instance_type.vcpus
+            gas_cap = cpu_cap if gas_cap is None else min(gas_cap, cpu_cap)
+        self._gas_cap_unscaled = gas_cap
+        self._gas_cap = self.scale.capacity(gas_cap)
+        self._tx_cap_unscaled = params.block_tx_limit
+        self._tx_cap = self.scale.capacity(params.block_tx_limit)
+        self._bytes_cap = params.block_bytes_limit  # bytes already inflated
+        # arrival-rate tracking for the admission-overhead term
+        self._arrival_window = 5.0
+        self._arrivals: List[Tuple[float, int]] = []
+        self._leader_cursor = 0
+        self._last_round_latency = 0.1
+        self._producing = False
+        #: while set, the chain keeps its block cadence through idle gaps
+        #: instead of stopping and paying a restart delay per burst
+        self.active_until: Optional[float] = None
+        self.receipts: Dict[int, Receipt] = {}
+        self.committed: List[Transaction] = []
+        self.dropped: List[Transaction] = []
+        self.blocks_failed = 0
+        self.view_changes_total = 0
+        self._committed_height = 0
+        self._commit_listeners: List[Callable[[Transaction], None]] = []
+
+    # -- setup ---------------------------------------------------------------------
+
+    def create_accounts(self, count: int) -> None:
+        """Provision funded benchmark accounts (§4: the !account sample).
+
+        Chains with provisioning limits (Diem) cap the population instead of
+        failing the whole benchmark, mirroring the authors' workaround.
+        """
+        self.accounts.create_up_to(count)
+        if len(self.accounts) == 0:
+            raise DeploymentError(f"{self.params.name}: no accounts created")
+        for account in self.accounts:
+            self.state.credit(account.address, account.balance)
+
+    def deploy_contract(self, contract: Contract) -> None:
+        """Deploy a DApp before the benchmark starts (done by the Primary)."""
+        self.vm.deploy(self.state, contract)
+
+    # -- reference block capacity (for overload stress computation) ----------------------
+
+    def reference_block_txs(self) -> int:
+        """Nominal transactions per block, in unscaled units."""
+        estimates = []
+        if self._tx_cap_unscaled is not None:
+            estimates.append(self._tx_cap_unscaled)
+        if self._gas_cap_unscaled is not None:
+            estimates.append(max(1, self._gas_cap_unscaled // 21_000))
+        return min(estimates) if estimates else 10_000
+
+    def _record_arrivals(self, count: int) -> None:
+        self._arrivals.append((self.engine.now, count))
+
+    def arrival_rate(self) -> float:
+        """Recent client submission rate in unscaled TPS."""
+        now = self.engine.now
+        horizon = now - self._arrival_window
+        while self._arrivals and self._arrivals[0][0] < horizon:
+            self._arrivals.pop(0)
+        if not self._arrivals:
+            return 0.0
+        window = max(1.0, now - self._arrivals[0][0])
+        total = sum(count for _, count in self._arrivals)
+        return total / window / self.scale.factor
+
+    # -- submission ------------------------------------------------------------------------
+
+    def submit(self, tx: Transaction, submitted_at: Optional[float] = None) -> SubmissionResult:
+        """A client hands *tx* to its collocated node.
+
+        The transaction reaches the proposer's pool one gossip hop later;
+        admission control applies the chain's mempool policy.
+        """
+        now = self.engine.now
+        tx.submitted_at = submitted_at if submitted_at is not None else now
+        self._record_arrivals(1)
+        try:
+            self.mempool.add(tx)
+        except MempoolFullError as exc:
+            tx.aborted = True
+            tx.abort_reason = type(exc).__name__
+            self.dropped.append(tx)
+            return SubmissionResult(False, str(exc))
+        self._ensure_production()
+        return SubmissionResult(True)
+
+    def submit_batch(self, txs: Sequence[Transaction]) -> int:
+        """Submit many transactions at the current instant; return accepted."""
+        accepted = 0
+        for tx in txs:
+            if self.submit(tx).accepted:
+                accepted += 1
+        return accepted
+
+    def on_commit(self, listener: Callable[[Transaction], None]) -> None:
+        self._commit_listeners.append(listener)
+
+    # -- block production --------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin block production (idle chains still produce empty slots
+        only when transactions arrive — empty blocks carry no information
+        for the benchmark and would triple the event count)."""
+        self._ensure_production()
+
+    def _ensure_production(self) -> None:
+        if self._producing:
+            return
+        self._producing = True
+        delay = self.model.next_block_delay(self._last_round_latency)
+        self.engine.schedule_after(delay + self.params.gossip_hop,
+                                   self._produce_block,
+                                   label=f"{self.params.name}-block")
+
+    def _produce_block(self) -> None:
+        now = self.engine.now
+        self._expire_pool(now)
+        backlog = len(self.mempool)
+        if backlog == 0:
+            needs_confirmations = (
+                self.params.confirmation_depth > 0
+                and self.ledger.height > self._committed_height)
+            if needs_confirmations:
+                # chains with a confirmation depth keep sealing empty blocks
+                # (Solana's PoH clock ticks regardless of load) — without
+                # them, the last transactions would never reach finality
+                self._seal_block([], backlog=0)
+                return
+            if self.active_until is not None and now < self.active_until:
+                self.engine.schedule_after(
+                    self.model.next_block_delay(self._last_round_latency),
+                    self._produce_block, label=f"{self.params.name}-idle")
+            else:
+                self._producing = False
+            return
+        backlog_unscaled = int(backlog / self.scale.factor)
+        factor = self.model.payload_factor(backlog_unscaled,
+                                           self.reference_block_txs())
+        gas_cap = (None if self._gas_cap is None
+                   else max(21_000, int(self._gas_cap * factor)))
+        tx_cap = (None if self._tx_cap is None
+                  else max(1, int(self._tx_cap * factor)))
+        batch = self.mempool.pop_batch(max_count=tx_cap, max_gas=gas_cap,
+                                       max_bytes=self._bytes_cap)
+        if not batch:
+            self.engine.schedule_after(
+                self.model.next_block_delay(self._last_round_latency),
+                self._produce_block, label=f"{self.params.name}-retry")
+            return
+        self._seal_block(batch, backlog)
+
+    def _seal_block(self, batch: Sequence[Transaction], backlog: int) -> None:
+        backlog_unscaled = int(backlog / self.scale.factor)
+        leader = self.endpoints[self._leader_cursor % len(self.endpoints)]
+        self._leader_cursor += 1
+        # execute the block on the leader's machine
+        receipts, exec_cpu = self._execute_batch(batch)
+        machine = self.machines[(self._leader_cursor - 1) % len(self.machines)]
+        exec_time = (self.scale.inflate_cpu(exec_cpu)
+                     / max(1.0, self.params.exec_parallelism))
+        machine.execute(self.scale.inflate_cpu(exec_cpu))
+        payload_bytes = sum(self.scale.inflate_bytes(tx.size) for tx in batch)
+        attempt = BlockAttempt(
+            tx_count=len(batch),
+            payload_bytes=payload_bytes,
+            exec_cpu_seconds=exec_time,
+            backlog=backlog_unscaled,
+            leader_region=leader.region,
+            arrival_rate=self.arrival_rate())
+        outcome = self.model.decide(attempt)
+        self.view_changes_total += outcome.view_changes
+        self._last_round_latency = max(outcome.latency, 1e-3)
+        if outcome.committed:
+            self.engine.schedule_after(
+                outcome.latency,
+                lambda: self._append_block(batch, receipts, leader.name),
+                label=f"{self.params.name}-append")
+        else:
+            # the round-change cascade gave up: the transactions return to
+            # the pool and the next attempt starts after the wasted rounds
+            self.blocks_failed += 1
+            for tx in batch:
+                self.mempool.try_add(tx)
+        delay = self.model.next_block_delay(self._last_round_latency)
+        self.engine.schedule_after(delay, self._produce_block,
+                                   label=f"{self.params.name}-block")
+
+    def _execute_batch(self, batch: Sequence[Transaction]
+                       ) -> Tuple[List[Receipt], float]:
+        height = self.ledger.height + 1
+        receipts: List[Receipt] = []
+        cpu = 0.0
+        verify = self.params.signature_scheme.verify_cost
+        for tx in batch:
+            receipt = self.vm.execute(self.state, tx, block_height=height)
+            receipts.append(receipt)
+            self.receipts[tx.uid] = receipt
+            cpu += self.vm.cpu_cost(receipt.gas_used) + verify
+        return receipts, cpu
+
+    def _append_block(self, batch: Sequence[Transaction],
+                      receipts: Sequence[Receipt], proposer: str) -> None:
+        now = self.engine.now
+        block = Block(
+            height=self.ledger.height + 1,
+            parent_hash=self.ledger.head.block_hash,
+            proposer=proposer,
+            transactions=list(batch),
+            timestamp=now,
+            gas_used=sum(r.gas_used for r in receipts))
+        self.ledger.append(block, decided_at=now)
+        self._finalize_ready()
+
+    def _finalize_ready(self) -> None:
+        """Commit every block that has reached the confirmation depth."""
+        depth = self.params.confirmation_depth
+        final_height = self.ledger.height - depth
+        for height in range(self._committed_height + 1, final_height + 1):
+            final_time = self.ledger.final_at(height)
+            if final_time is None:
+                continue
+            for tx in self.ledger.block_at(height).transactions:
+                self._mark_committed(tx, final_time)
+        self._committed_height = max(self._committed_height, final_height)
+
+    def _mark_committed(self, tx: Transaction, final_time: float) -> None:
+        receipt = self.receipts.get(tx.uid)
+        if receipt is not None and not receipt.ok:
+            # the transaction is in a block but its execution failed — the
+            # client sees an error ("budget exceeded", revert, out-of-gas),
+            # not a commit (§6.4 / experiment E2)
+            tx.aborted = True
+            tx.abort_reason = receipt.status.value
+            self.dropped.append(tx)
+            return
+        observation = self._observation_delay()
+        tx.committed_at = final_time + observation
+        self.committed.append(tx)
+        for listener in self._commit_listeners:
+            listener(tx)
+
+    def _observation_delay(self) -> float:
+        """Client-side commit detection delay (§5.2 per-chain APIs)."""
+        api = self.params.commit_api
+        if api == "stream":
+            return 0.01   # web-socket push from the collocated node
+        if api == "poll":
+            return self.params.poll_interval / 2
+        # blocking API: one round trip per transaction plus server queueing
+        return self.params.poll_interval
+
+    def _expire_pool(self, now: float) -> None:
+        if self.params.tx_expiry is None:
+            return
+        for tx in self.mempool.drop_expired(now, self.params.tx_expiry):
+            tx.aborted = True
+            tx.abort_reason = "expired"
+            self.dropped.append(tx)
+
+    # -- results ----------------------------------------------------------------------------------
+
+    def drain(self, until: float) -> None:
+        """Run the engine until *until* to let in-flight blocks land."""
+        self.engine.run(until=until)
+
+    def stats(self) -> Dict[str, float]:
+        committed = len(self.committed)
+        return {
+            "height": self.ledger.height,
+            "committed": committed,
+            "dropped": len(self.dropped),
+            "pending": len(self.mempool),
+            "blocks_failed": self.blocks_failed,
+            "view_changes": self.view_changes_total,
+        }

@@ -1,0 +1,41 @@
+"""Blockchain data structures: transactions, blocks, mempool, state, ledger."""
+
+from repro.chain.account import (
+    Account,
+    AccountFactoryLimits,
+    AccountRegistry,
+    DEFAULT_INITIAL_BALANCE,
+)
+from repro.chain.block import Block, GENESIS_PARENT, genesis_block
+from repro.chain.ledger import Ledger
+from repro.chain.mempool import Mempool, MempoolPolicy
+from repro.chain.receipt import Event, ExecStatus, Receipt
+from repro.chain.state import ContractStorage, WorldState
+from repro.chain.transaction import (
+    Transaction,
+    TxKind,
+    invoke,
+    transfer,
+)
+
+__all__ = [
+    "Account",
+    "AccountFactoryLimits",
+    "AccountRegistry",
+    "Block",
+    "ContractStorage",
+    "DEFAULT_INITIAL_BALANCE",
+    "Event",
+    "ExecStatus",
+    "GENESIS_PARENT",
+    "Ledger",
+    "Mempool",
+    "MempoolPolicy",
+    "Receipt",
+    "Transaction",
+    "TxKind",
+    "WorldState",
+    "genesis_block",
+    "invoke",
+    "transfer",
+]

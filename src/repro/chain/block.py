@@ -1,0 +1,56 @@
+"""Blocks and block headers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.chain.transaction import Transaction
+from repro.crypto.hashing import digest, merkle_root
+
+
+@dataclass
+class Block:
+    """A block of transactions appended to the chain.
+
+    ``timestamp`` is the virtual time at which the block was decided by
+    consensus (the moment polling clients can first observe it locally at the
+    proposer). ``gas_used`` is filled in by the executing VM.
+    """
+
+    height: int
+    parent_hash: str
+    proposer: str
+    transactions: List[Transaction] = field(default_factory=list)
+    timestamp: float = 0.0
+    gas_used: int = 0
+
+    _hash: Optional[str] = field(default=None, repr=False)
+
+    @property
+    def block_hash(self) -> str:
+        if self._hash is None:
+            self._hash = digest("block", self.height, self.parent_hash,
+                                self.proposer, self.tx_root, self.timestamp)
+        return self._hash
+
+    @property
+    def tx_root(self) -> str:
+        return merkle_root(tx.tx_hash for tx in self.transactions)
+
+    @property
+    def size(self) -> int:
+        """Wire size in bytes: header plus transaction payloads."""
+        return 512 + sum(tx.size for tx in self.transactions)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+
+GENESIS_PARENT = digest("genesis-parent")
+
+
+def genesis_block(proposer: str = "genesis") -> Block:
+    """The height-0 block every simulated chain starts from."""
+    return Block(height=0, parent_hash=GENESIS_PARENT, proposer=proposer,
+                 timestamp=0.0)

@@ -1,0 +1,99 @@
+"""The ledger: an append-only chain of blocks with confirmation depth.
+
+Forkable chains (Solana, Ethereum Clique) require clients to wait for
+additional appended blocks ("confirmations") before treating a transaction
+as final — the paper sets Solana to 30 confirmations (§5.2). The ledger
+tracks, for each block, the height at which it reaches a given confirmation
+depth, and exposes the polling queries the DIABLO secondaries use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.errors import ChainError
+from repro.chain.block import Block, genesis_block
+from repro.chain.transaction import Transaction
+
+
+class Ledger:
+    """Append-only block sequence shared by all honest nodes of one chain."""
+
+    def __init__(self, confirmation_depth: int = 0) -> None:
+        if confirmation_depth < 0:
+            raise ChainError("confirmation depth cannot be negative")
+        self.confirmation_depth = confirmation_depth
+        genesis = genesis_block()
+        self._blocks: List[Block] = [genesis]
+        self._by_hash: Dict[str, Block] = {genesis.block_hash: genesis}
+        self._decided_at: List[float] = [0.0]
+        # virtual time each height became *final* (confirmed); genesis is
+        # final immediately
+        self._final_at: List[Optional[float]] = [0.0]
+
+    # -- append ---------------------------------------------------------------
+
+    def append(self, block: Block, decided_at: float) -> None:
+        """Append a consensus-decided block at the next height."""
+        head = self._blocks[-1]
+        if block.height != head.height + 1:
+            raise ChainError(
+                f"expected height {head.height + 1}, got {block.height}")
+        if block.parent_hash != head.block_hash:
+            raise ChainError("block does not extend the current head")
+        self._blocks.append(block)
+        self._by_hash[block.block_hash] = block
+        self._decided_at.append(decided_at)
+        self._final_at.append(None if self.confirmation_depth > 0 else decided_at)
+        if self.confirmation_depth > 0:
+            # the block confirmation_depth behind the new head becomes final
+            confirmed = block.height - self.confirmation_depth
+            if confirmed >= 0 and self._final_at[confirmed] is None:
+                self._final_at[confirmed] = decided_at
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def head(self) -> Block:
+        return self._blocks[-1]
+
+    @property
+    def height(self) -> int:
+        return self._blocks[-1].height
+
+    def block_at(self, height: int) -> Block:
+        if height < 0 or height >= len(self._blocks):
+            raise ChainError(f"no block at height {height}")
+        return self._blocks[height]
+
+    def block_by_hash(self, block_hash: str) -> Block:
+        try:
+            return self._by_hash[block_hash]
+        except KeyError:
+            raise ChainError(f"unknown block hash {block_hash!r}") from None
+
+    def decided_at(self, height: int) -> float:
+        return self._decided_at[height]
+
+    def final_at(self, height: int) -> Optional[float]:
+        """Virtual time the block at *height* became final, None if not yet."""
+        if height < 0 or height >= len(self._blocks):
+            raise ChainError(f"no block at height {height}")
+        return self._final_at[height]
+
+    def blocks_since(self, height: int) -> Iterator[Block]:
+        """Blocks strictly above *height* (the secondary polling query)."""
+        for h in range(height + 1, len(self._blocks)):
+            yield self._blocks[h]
+
+    def recent_hash_age(self, block_hash: str, now: float) -> float:
+        """Age in seconds of the block carrying *block_hash* (Solana rule)."""
+        block = self.block_by_hash(block_hash)
+        return now - self._decided_at[block.height]
+
+    def total_transactions(self) -> int:
+        return sum(len(b) for b in self._blocks)
+
+    def all_transactions(self) -> Iterator[Transaction]:
+        for block in self._blocks:
+            yield from block.transactions

@@ -1,0 +1,153 @@
+"""Memory pool with the admission/drop policies the paper attributes results to.
+
+Three policies matter in the evaluation:
+
+* **bounded + per-sender quota** (Diem): nodes accept at most 100 pending
+  transactions per signer and a bounded total; excess transactions are
+  dropped during load peaks (§6.5), which protects the node from collapsing
+  under constant overload (§6.3).
+* **effectively unbounded** (Quorum/IBFT): "historically designed to never
+  drop a client request" — commits everything under bursts (§6.5) but
+  saturates and collapses under constant 10 kTPS load (§6.3).
+* **fee-ordered bounded** (Ethereum-style): admission prefers higher fees;
+  underpriced transactions linger or are evicted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import MempoolFullError, SenderQuotaError
+from repro.chain.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class MempoolPolicy:
+    """Configuration of a node's memory pool.
+
+    ``capacity``            maximum resident transactions (None = unbounded)
+    ``per_sender_quota``    maximum pending per signer (None = unbounded)
+    ``evict_oldest``        when full, evict the oldest instead of rejecting
+    ``fee_ordered``         pop highest-fee transactions first
+    """
+
+    capacity: Optional[int] = None
+    per_sender_quota: Optional[int] = None
+    evict_oldest: bool = False
+    fee_ordered: bool = False
+
+
+class Mempool:
+    """FIFO (or fee-ordered) transaction pool with admission control."""
+
+    def __init__(self, policy: MempoolPolicy = MempoolPolicy()) -> None:
+        self.policy = policy
+        self._pool: "OrderedDict[int, Transaction]" = OrderedDict()
+        self._per_sender: Dict[str, int] = defaultdict(int)
+        self.admitted = 0
+        self.rejected_full = 0
+        self.rejected_quota = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def __contains__(self, tx: Transaction) -> bool:
+        return tx.uid in self._pool
+
+    def pending_for(self, sender: str) -> int:
+        return self._per_sender.get(sender, 0)
+
+    # -- admission ---------------------------------------------------------------
+
+    def add(self, tx: Transaction) -> None:
+        """Admit a transaction or raise a :class:`MempoolFullError` subclass."""
+        quota = self.policy.per_sender_quota
+        if quota is not None and self._per_sender[tx.sender] >= quota:
+            self.rejected_quota += 1
+            raise SenderQuotaError(
+                f"sender {tx.sender} has {quota} pending transactions")
+        cap = self.policy.capacity
+        if cap is not None and len(self._pool) >= cap:
+            if self.policy.evict_oldest:
+                self._evict_one()
+            else:
+                self.rejected_full += 1
+                raise MempoolFullError(
+                    f"mempool at capacity ({cap} transactions)")
+        self._pool[tx.uid] = tx
+        self._per_sender[tx.sender] += 1
+        self.admitted += 1
+
+    def try_add(self, tx: Transaction) -> bool:
+        """Admit a transaction, returning False instead of raising."""
+        try:
+            self.add(tx)
+        except MempoolFullError:
+            return False
+        return True
+
+    def _evict_one(self) -> None:
+        uid, victim = self._pool.popitem(last=False)
+        self._per_sender[victim.sender] -= 1
+        self.evicted += 1
+
+    # -- removal ---------------------------------------------------------------
+
+    def pop_batch(self, max_count: Optional[int] = None,
+                  max_gas: Optional[int] = None,
+                  max_bytes: Optional[int] = None) -> List[Transaction]:
+        """Remove and return transactions for the next block.
+
+        Selection is FIFO unless ``fee_ordered`` is set, bounded by any of a
+        transaction count, a cumulative gas limit (using each transaction's
+        gas limit as its reservation, as block builders do) and a cumulative
+        byte size.
+        """
+        if self.policy.fee_ordered:
+            candidates = sorted(
+                self._pool.values(),
+                key=lambda t: (-(t.fee_per_gas + t.tip), t.uid))
+        else:
+            candidates = list(self._pool.values())
+        batch: List[Transaction] = []
+        gas_total = 0
+        byte_total = 0
+        for tx in candidates:
+            if max_count is not None and len(batch) >= max_count:
+                break
+            if max_gas is not None and gas_total + tx.gas_limit > max_gas:
+                if batch:
+                    break
+                # a single oversized transaction still fits alone so block
+                # production cannot deadlock on it
+            if (max_bytes is not None and byte_total + tx.size > max_bytes
+                    and batch):
+                break
+            batch.append(tx)
+            gas_total += tx.gas_limit
+            byte_total += tx.size
+        for tx in batch:
+            del self._pool[tx.uid]
+            self._per_sender[tx.sender] -= 1
+        return batch
+
+    def remove(self, tx: Transaction) -> bool:
+        """Remove a specific transaction (e.g. committed via another node)."""
+        if tx.uid not in self._pool:
+            return False
+        del self._pool[tx.uid]
+        self._per_sender[tx.sender] -= 1
+        return True
+
+    def drop_expired(self, now: float, max_age: float) -> List[Transaction]:
+        """Drop transactions submitted more than *max_age* seconds ago."""
+        expired = [tx for tx in self._pool.values()
+                   if tx.submitted_at is not None
+                   and now - tx.submitted_at > max_age]
+        for tx in expired:
+            self.remove(tx)
+        self.evicted += len(expired)
+        return expired

@@ -1,0 +1,58 @@
+"""Execution receipts and contract events.
+
+Receipts mirror the Ethereum model: per-transaction execution outcome, gas
+used, and the events (logs) the contract emitted — the Exchange and YouTube
+DApps of the paper emit events on success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class ExecStatus(Enum):
+    """Outcome of executing a transaction inside a block."""
+
+    SUCCESS = "success"
+    REVERTED = "reverted"          # contract require() failed
+    OUT_OF_GAS = "out_of_gas"      # exhausted the gas sent with the tx
+    BUDGET_EXCEEDED = "budget_exceeded"  # hit the VM's hard budget (§6.4)
+    INVALID = "invalid"            # bad nonce/signature/balance
+
+
+@dataclass(frozen=True)
+class Event:
+    """A contract event (log entry)."""
+
+    contract: str
+    name: str
+    payload: Tuple[Any, ...] = ()
+
+
+@dataclass
+class Receipt:
+    """Result of executing one transaction."""
+
+    tx_uid: int
+    status: ExecStatus
+    gas_used: int = 0
+    block_height: Optional[int] = None
+    return_value: Any = None
+    error: Optional[str] = None
+    events: List[Event] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ExecStatus.SUCCESS
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "tx_uid": self.tx_uid,
+            "status": self.status.value,
+            "gas_used": self.gas_used,
+            "block_height": self.block_height,
+            "error": self.error,
+            "events": len(self.events),
+        }

@@ -1,0 +1,127 @@
+"""Transactions: native transfers and DApp invocations.
+
+These are the two interaction types of the DIABLO blockchain abstraction
+(§4): ``transfer_X`` moves X coins between accounts and ``invoke_D_Xs``
+invokes DApp D with parameters Xs. Transactions carry the metadata the
+evaluated blockchains need: a sequence number (Ethereum/Diem), a fee and gas
+limit (London-style dynamic fees), a recent block hash (Solana) and a
+signature produced by the sender's scheme.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional, Tuple
+
+from repro.crypto.hashing import digest
+
+_TX_COUNTER = itertools.count()
+
+# Baseline payload sizes in bytes. A native transfer is roughly an Ethereum
+# legacy transaction; invocations add ABI-encoded call data.
+TRANSFER_SIZE = 110
+INVOKE_BASE_SIZE = 140
+
+
+class TxKind(Enum):
+    """The two DIABLO interaction types."""
+
+    TRANSFER = "transfer"
+    INVOKE = "invoke"
+
+
+@dataclass
+class Transaction:
+    """A signed client request.
+
+    ``submitted_at`` / ``committed_at`` are filled in by the DIABLO
+    secondaries during a benchmark — they correspond to the submission and
+    decision timestamps the Primary aggregates into its JSON output.
+    """
+
+    sender: str
+    kind: TxKind
+    sequence: int = 0
+    amount: int = 0
+    recipient: Optional[str] = None
+    contract: Optional[str] = None
+    function: Optional[str] = None
+    args: Tuple[Any, ...] = ()
+    fee_per_gas: int = 1
+    tip: int = 0
+    gas_limit: int = 10_000_000
+    recent_block_hash: Optional[str] = None
+    signature: Optional[str] = None
+    extra_size: int = 0
+    uid: int = field(default_factory=lambda: next(_TX_COUNTER))
+
+    # benchmark bookkeeping, set by DIABLO components
+    submitted_at: Optional[float] = None
+    committed_at: Optional[float] = None
+    aborted: bool = False
+    abort_reason: Optional[str] = None
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Transaction) and other.uid == self.uid
+
+    @property
+    def tx_hash(self) -> str:
+        """Deterministic content hash (excludes benchmark bookkeeping)."""
+        return digest("tx", self.uid, self.sender, self.kind.value,
+                      self.sequence, self.recipient, self.contract,
+                      self.function, self.args, self.amount)
+
+    @property
+    def size(self) -> int:
+        """Wire size in bytes, used by the network and block-size limits."""
+        if self.kind is TxKind.TRANSFER:
+            return TRANSFER_SIZE + self.extra_size
+        arg_size = sum(32 for _ in self.args)
+        return INVOKE_BASE_SIZE + arg_size + self.extra_size
+
+    @property
+    def is_invoke(self) -> bool:
+        return self.kind is TxKind.INVOKE
+
+    def signing_payload(self) -> str:
+        """The string covered by the sender's signature."""
+        return digest("payload", self.sender, self.kind.value, self.sequence,
+                      self.recipient, self.contract, self.function, self.args,
+                      self.amount, self.fee_per_gas, self.gas_limit,
+                      self.recent_block_hash)
+
+    def describe(self) -> Dict[str, Any]:
+        """Loggable summary dictionary."""
+        return {
+            "uid": self.uid,
+            "kind": self.kind.value,
+            "sender": self.sender,
+            "sequence": self.sequence,
+            "contract": self.contract,
+            "function": self.function,
+            "submitted_at": self.submitted_at,
+            "committed_at": self.committed_at,
+            "aborted": self.aborted,
+            "abort_reason": self.abort_reason,
+        }
+
+
+def transfer(sender: str, recipient: str, amount: int = 1,
+             sequence: int = 0, **kwargs: Any) -> Transaction:
+    """Build a native transfer transaction."""
+    return Transaction(sender=sender, kind=TxKind.TRANSFER, amount=amount,
+                       recipient=recipient, sequence=sequence, **kwargs)
+
+
+def invoke(sender: str, contract: str, function: str,
+           args: Tuple[Any, ...] = (), sequence: int = 0,
+           **kwargs: Any) -> Transaction:
+    """Build a DApp invocation transaction."""
+    return Transaction(sender=sender, kind=TxKind.INVOKE, contract=contract,
+                       function=function, args=tuple(args), sequence=sequence,
+                       **kwargs)

@@ -1,0 +1,144 @@
+"""Command-line interface mirroring the DIABLO artifact's entry points.
+
+The real tool is invoked as::
+
+    diablo primary -vvv --port=5000 --output=results.json --compress \
+        --stat 10 setup.yaml workload.yaml
+
+Here the "setup" is a chain + deployment-configuration pair and the
+workload is the same YAML dialect::
+
+    python -m repro run --chain quorum --configuration testnet \
+        --output results.json workload.yaml
+
+    python -m repro suite --chain solana --configuration consortium \
+        --workload fifa
+
+    python -m repro csv results.json > results.csv
+
+``run`` executes a YAML workload specification; ``suite`` runs one of the
+built-in DApp/synthetic traces; ``csv`` converts a results JSON file to the
+artifact's per-transaction CSV format; ``chains`` and ``workloads`` list
+what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.summary import transactions_to_csv
+from repro.blockchains.registry import CHAIN_NAMES, characteristics_table
+from repro.core.results import BenchmarkResult
+from repro.core.runner import run_benchmark, run_trace
+from repro.sim.deployment import CONFIGURATIONS
+from repro.workloads import (
+    constant_transfer_trace,
+    dapp_suite,
+    stock_trace,
+)
+
+
+def _available_workloads() -> dict:
+    suite = {f"dapp-{name}": trace for name, trace in dapp_suite().items()}
+    for stock in ("google", "amazon", "facebook", "microsoft", "apple"):
+        suite[f"nasdaq-{stock}"] = stock_trace(stock)
+    suite["native-1000"] = constant_transfer_trace(1_000)
+    suite["native-10000"] = constant_transfer_trace(10_000)
+    return suite
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--chain", required=True, choices=CHAIN_NAMES)
+    parser.add_argument("--configuration", default="testnet",
+                        choices=sorted(CONFIGURATIONS))
+    parser.add_argument("--scale", type=float, default=None,
+                        help="experiment scale factor (default: REPRO_SCALE)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--accounts", type=int, default=2_000)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the full results JSON here")
+    parser.add_argument("--compress", action="store_true",
+                        help="gzip the JSON output (like diablo --compress)")
+    parser.add_argument("--stat", action="store_true",
+                        help="print summary statistics to stdout")
+
+
+def _emit(result: BenchmarkResult, output: Optional[Path],
+          stat: bool, compress: bool = False) -> None:
+    if output is not None:
+        if compress:
+            import gzip
+            target = (output if output.suffix == ".gz"
+                      else output.with_suffix(output.suffix + ".gz"))
+            with gzip.open(target, "wt") as handle:
+                handle.write(result.to_json())
+            print(f"wrote {target}", file=sys.stderr)
+        else:
+            output.write_text(result.to_json())
+            print(f"wrote {output}", file=sys.stderr)
+    if stat or output is None:
+        print(json.dumps(result.summary(), indent=2))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DIABLO blockchain benchmarks (simulated)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="run a YAML workload specification")
+    _add_common(run_parser)
+    run_parser.add_argument("workload", type=Path,
+                            help="workload specification YAML file")
+
+    suite_parser = commands.add_parser(
+        "suite", help="run a built-in workload trace")
+    _add_common(suite_parser)
+    suite_parser.add_argument("--workload", required=True,
+                              choices=sorted(_available_workloads()))
+
+    csv_parser = commands.add_parser(
+        "csv", help="convert a results JSON file to per-transaction CSV")
+    csv_parser.add_argument("results", type=Path)
+
+    commands.add_parser("chains", help="list the evaluated blockchains")
+    commands.add_parser("workloads", help="list the built-in workloads")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "run":
+        result = run_benchmark(args.chain, args.configuration,
+                               args.workload.read_text(),
+                               workload_name=args.workload.stem,
+                               scale=args.scale, seed=args.seed)
+        _emit(result, args.output, args.stat, args.compress)
+    elif args.command == "suite":
+        trace = _available_workloads()[args.workload]
+        result = run_trace(args.chain, args.configuration, trace,
+                           accounts=args.accounts, scale=args.scale,
+                           seed=args.seed)
+        _emit(result, args.output, args.stat, args.compress)
+    elif args.command == "csv":
+        if args.results.suffix == ".gz":
+            import gzip
+            with gzip.open(args.results, "rt") as handle:
+                text = handle.read()
+        else:
+            text = args.results.read_text()
+        result = BenchmarkResult.from_json(text)
+        sys.stdout.write(transactions_to_csv(result))
+    elif args.command == "chains":
+        for row in characteristics_table():
+            print(row)
+    elif args.command == "workloads":
+        for name, trace in sorted(_available_workloads().items()):
+            print(f"{name:18s} {trace.description}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Consensus protocols: message-level implementations and analytic models."""
+
+from repro.consensus.algorand import AlgorandReplica, sortition
+from repro.consensus.avalanche import SnowballReplica
+from repro.consensus.base import (
+    ConsensusHarness,
+    Decision,
+    Message,
+    Replica,
+)
+from repro.consensus.clique import CliqueReplica
+from repro.consensus.hotstuff import HotStuffReplica, QuorumCertificate
+from repro.consensus.ibft import IBFTReplica
+from repro.consensus.models import (
+    BlockAttempt,
+    CliquePerf,
+    CommitteePerf,
+    ConsensusPerfModel,
+    DAGPerf,
+    DecisionOutcome,
+    LeaderBFTPerf,
+    PoHPerf,
+    WanProfile,
+)
+from repro.consensus.raft import RaftReplica
+from repro.consensus.towerbft import TowerReplica
+
+__all__ = [
+    "AlgorandReplica",
+    "BlockAttempt",
+    "CliquePerf",
+    "CliqueReplica",
+    "CommitteePerf",
+    "ConsensusHarness",
+    "ConsensusPerfModel",
+    "DAGPerf",
+    "Decision",
+    "DecisionOutcome",
+    "HotStuffReplica",
+    "IBFTReplica",
+    "LeaderBFTPerf",
+    "Message",
+    "PoHPerf",
+    "QuorumCertificate",
+    "RaftReplica",
+    "Replica",
+    "SnowballReplica",
+    "TowerReplica",
+    "WanProfile",
+    "sortition",
+]

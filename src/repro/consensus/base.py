@@ -1,0 +1,226 @@
+"""Consensus protocol framework (message-level fidelity).
+
+Protocols are implemented as per-node state machines exchanging messages
+over the simulated network. A :class:`ConsensusHarness` wires ``n`` replicas
+on the discrete-event engine, feeds them client payloads and collects their
+commit sequences, so protocol-correctness tests can assert the fundamental
+invariants — agreement (no two nodes commit different values at the same
+height), total order, and liveness under partial synchrony.
+
+The large-scale blockchain runtimes use the analytic models in
+:mod:`repro.consensus.models` instead; the message-level implementations are
+the ground truth those models are validated against (see
+``tests/consensus/test_model_calibration.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.rng import RngFactory
+from repro.sim.engine import Engine
+from repro.sim.network import Endpoint, Network, spread_endpoints
+
+VOTE_MESSAGE_SIZE = 200  # bytes: digest + signature + metadata
+
+
+@dataclass
+class Message:
+    """A protocol message between replicas."""
+
+    kind: str
+    sender: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+    size: int = VOTE_MESSAGE_SIZE
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A committed value: (height/slot, value, deciding node, time)."""
+
+    height: int
+    value: Any
+    node: int
+    time: float
+
+
+class Replica:
+    """Base class for one consensus participant.
+
+    Subclasses implement ``on_start`` and ``on_message``; they call
+    ``self.send``/``self.broadcast`` to communicate and ``self.decide`` when
+    a value commits locally.
+    """
+
+    def __init__(self) -> None:
+        # wired by the harness
+        self.node_id: int = -1
+        self.harness: "ConsensusHarness" = None  # type: ignore[assignment]
+
+    # -- harness plumbing ----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.harness.n
+
+    @property
+    def f(self) -> int:
+        """Maximum Byzantine faults tolerated: floor((n-1)/3)."""
+        return (self.n - 1) // 3
+
+    @property
+    def quorum(self) -> int:
+        """Quorum size 2f+1 for BFT protocols."""
+        return 2 * self.f + 1
+
+    @property
+    def now(self) -> float:
+        return self.harness.engine.now
+
+    def send(self, target: int, message: Message) -> None:
+        self.harness.route(self.node_id, target, message)
+
+    def broadcast(self, message: Message, include_self: bool = True) -> None:
+        for target in range(self.n):
+            if target == self.node_id and not include_self:
+                continue
+            self.harness.route(self.node_id, target, message)
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 label: str = "") -> Any:
+        return self.harness.engine.schedule_after(delay, callback, label)
+
+    def decide(self, height: int, value: Any) -> None:
+        self.harness.record_decision(
+            Decision(height, value, self.node_id, self.now))
+
+    def next_payload(self) -> Any:
+        """Fetch the next client payload to propose (or a filler)."""
+        return self.harness.next_payload(self.node_id)
+
+    # -- protocol hooks -----------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the harness starts."""
+
+    def on_message(self, message: Message) -> None:
+        """Called on each delivered message."""
+        raise NotImplementedError
+
+
+class ConsensusHarness:
+    """Runs ``n`` replicas of a protocol over the simulated network."""
+
+    def __init__(self, replicas: Sequence[Replica],
+                 engine: Optional[Engine] = None,
+                 regions: Optional[Iterable[str]] = None,
+                 seed: int = 0,
+                 drop_rate: float = 0.0) -> None:
+        self.engine = engine or Engine()
+        self.replicas = list(replicas)
+        self.n = len(self.replicas)
+        if self.n == 0:
+            raise SimulationError("harness needs at least one replica")
+        region_list = list(regions) if regions is not None else ["ohio"]
+        self.endpoints: List[Endpoint] = spread_endpoints(
+            self.n, region_list, prefix="replica")
+        factory = RngFactory(seed)
+        self.network = Network(self.engine, factory)
+        self._drop_rng = factory.stream("harness", "drops")
+        self.drop_rate = drop_rate
+        self.crashed: set = set()
+        self.decisions: List[Decision] = []
+        self._payload_queue: List[Any] = []
+        self._filler_counter = 0
+        self.messages_routed = 0
+        for node_id, replica in enumerate(self.replicas):
+            replica.node_id = node_id
+            replica.harness = self
+
+    # -- payloads -------------------------------------------------------------------
+
+    def submit(self, payload: Any) -> None:
+        """Queue a client payload for proposal by whoever leads next."""
+        self._payload_queue.append(payload)
+
+    def next_payload(self, node_id: int) -> Any:
+        if self._payload_queue:
+            return self._payload_queue.pop(0)
+        self._filler_counter += 1
+        return f"filler-{self._filler_counter}"
+
+    # -- routing --------------------------------------------------------------------
+
+    def crash(self, node_id: int) -> None:
+        """Crash a replica: it stops sending and receiving (fail-stop)."""
+        self.crashed.add(node_id)
+
+    def route(self, sender: int, target: int, message: Message) -> None:
+        self.messages_routed += 1
+        if sender in self.crashed or target in self.crashed:
+            return
+        if self.drop_rate > 0 and sender != target:
+            if float(self._drop_rng.random()) < self.drop_rate:
+                return
+        replica = self.replicas[target]
+        if sender == target:
+            # local delivery: next event, no network transit
+            self.engine.schedule_after(
+                0.0, lambda: replica.on_message(message),
+                label=f"self-{message.kind}")
+            return
+        self.network.send(
+            self.endpoints[sender], self.endpoints[target], message.size,
+            lambda: replica.on_message(message),
+            label=f"msg-{message.kind}")
+
+    # -- decisions -------------------------------------------------------------------
+
+    def record_decision(self, decision: Decision) -> None:
+        self.decisions.append(decision)
+
+    def decisions_by_node(self) -> Dict[int, List[Decision]]:
+        result: Dict[int, List[Decision]] = {i: [] for i in range(self.n)}
+        for decision in self.decisions:
+            result[decision.node].append(decision)
+        for entries in result.values():
+            entries.sort(key=lambda d: d.height)
+        return result
+
+    def committed_chain(self, node: int) -> List[Tuple[int, Any]]:
+        return [(d.height, d.value) for d in self.decisions_by_node()[node]]
+
+    # -- execution --------------------------------------------------------------------
+
+    def run(self, until: float) -> None:
+        for replica in self.replicas:
+            replica.on_start()
+        self.engine.run(until=until)
+
+    # -- invariant checks (used by tests) ---------------------------------------------
+
+    def check_agreement(self) -> None:
+        """No two nodes commit different values at the same height."""
+        by_height: Dict[int, Any] = {}
+        for decision in self.decisions:
+            if decision.height in by_height:
+                if by_height[decision.height] != decision.value:
+                    raise SimulationError(
+                        f"agreement violated at height {decision.height}:"
+                        f" {by_height[decision.height]!r} vs"
+                        f" {decision.value!r} (node {decision.node})")
+            else:
+                by_height[decision.height] = decision.value
+
+    def check_no_duplicate_commits(self) -> None:
+        """A node commits at each height at most once."""
+        seen = set()
+        for decision in self.decisions:
+            key = (decision.node, decision.height)
+            if key in seen:
+                raise SimulationError(
+                    f"node {decision.node} committed height"
+                    f" {decision.height} twice")
+            seen.add(key)

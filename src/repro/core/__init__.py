@@ -1,0 +1,56 @@
+"""DIABLO core: workload spec, Primary/Secondary, results, runner."""
+
+from repro.core.interface import (
+    BlockchainConnector,
+    Client,
+    SimConnector,
+)
+from repro.core.primary import Primary
+from repro.core.results import BenchmarkResult, TransactionRecord
+from repro.core.runner import run_benchmark, run_matrix, run_trace
+from repro.core.secondary import Secondary
+from repro.core.spec import (
+    AccountSample,
+    Behavior,
+    ClientSpec,
+    ContractSample,
+    EndpointSample,
+    InvokeSpec,
+    LoadSchedule,
+    LocationSample,
+    TransferSpec,
+    WorkloadGroup,
+    WorkloadSpec,
+    load_spec,
+    parse_function_call,
+    simple_spec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "AccountSample",
+    "Behavior",
+    "BenchmarkResult",
+    "BlockchainConnector",
+    "Client",
+    "ClientSpec",
+    "ContractSample",
+    "EndpointSample",
+    "InvokeSpec",
+    "LoadSchedule",
+    "LocationSample",
+    "Primary",
+    "Secondary",
+    "SimConnector",
+    "TransactionRecord",
+    "TransferSpec",
+    "WorkloadGroup",
+    "WorkloadSpec",
+    "load_spec",
+    "parse_function_call",
+    "run_benchmark",
+    "run_matrix",
+    "run_trace",
+    "simple_spec",
+    "spec_from_dict",
+]

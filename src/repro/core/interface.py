@@ -1,0 +1,177 @@
+"""The DIABLO blockchain abstraction (§4).
+
+"To add a new blockchain, one has to implement at least one of these
+interaction types as well as 4 functions that convert the benchmark
+specification to an executable test program: (i) s.create_client(E),
+(ii) create_resource(phi_r), (iii) encode(phi_i, r, t) to produce an opaque
+encoded interaction e, and (iv) c.trigger(e)."
+
+:class:`BlockchainConnector` is that interface; :class:`SimConnector` is
+its implementation for the simulated chains of :mod:`repro.blockchains`.
+Implementing a connector for a real chain (e.g. via web3.py) requires
+exactly these four methods — the paper notes real implementations run
+1,000-1,200 LOC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.blockchains.base import BlockchainNetwork
+from repro.chain.account import Account
+from repro.chain.transaction import Transaction, invoke, transfer
+from repro.common.errors import ConfigurationError, SpecError
+from repro.contracts import CONTRACT_FACTORIES, estimated_call_gas
+from repro.core.spec import (
+    AccountSample,
+    ContractSample,
+    Interaction,
+    InvokeSpec,
+    TransferSpec,
+)
+
+TRANSFER_GAS_LIMIT = 21_000
+DEFAULT_INVOKE_GAS_LIMIT = 5_000_000
+
+
+@dataclass
+class Client:
+    """A DIABLO client: one explicit worker thread on a Secondary (§4)."""
+
+    name: str
+    location: str
+    endpoints: Tuple[str, ...]
+
+    def trigger(self, connector: "BlockchainConnector",
+                encoded: Transaction) -> bool:
+        return connector.trigger(self, encoded)
+
+
+class BlockchainConnector:
+    """The 4-function abstraction DIABLO programs against."""
+
+    def create_client(self, name: str, location: str,
+                      endpoints: Sequence[str]) -> Client:
+        raise NotImplementedError
+
+    def create_resource(self, spec: Any) -> Any:
+        raise NotImplementedError
+
+    def encode(self, interaction: Interaction, resource: Any,
+               t: float) -> Transaction:
+        raise NotImplementedError
+
+    def trigger(self, client: Client, encoded: Transaction) -> bool:
+        raise NotImplementedError
+
+
+class SimConnector(BlockchainConnector):
+    """Connector for the simulated blockchains."""
+
+    def __init__(self, network: BlockchainNetwork) -> None:
+        self.network = network
+        self._account_cursor = 0
+        self._gas_estimates: dict[Tuple[str, str], int] = {}
+
+    # -- clients -----------------------------------------------------------------
+
+    def create_client(self, name: str, location: str,
+                      endpoints: Sequence[str]) -> Client:
+        known = {ep.name for ep in self.network.endpoints}
+        for endpoint in endpoints:
+            if endpoint not in known:
+                raise ConfigurationError(
+                    f"client {name}: unknown endpoint {endpoint!r}")
+        return Client(name, location, tuple(endpoints))
+
+    # -- resources -----------------------------------------------------------------
+
+    def create_resource(self, spec: Any) -> Any:
+        """Provision accounts or deploy a contract before the benchmark."""
+        if isinstance(spec, AccountSample):
+            self.network.create_accounts(spec.number)
+            return self.network.accounts
+        if isinstance(spec, ContractSample):
+            try:
+                factory = CONTRACT_FACTORIES[spec.name]
+            except KeyError:
+                raise SpecError(
+                    f"unknown DApp {spec.name!r};"
+                    f" available: {sorted(CONTRACT_FACTORIES)}") from None
+            contract = factory()
+            self.network.deploy_contract(contract)
+            return contract
+        raise SpecError(f"cannot provision resource {spec!r}")
+
+    # -- encoding ----------------------------------------------------------------------
+
+    def _next_account(self) -> Account:
+        accounts = self.network.accounts
+        if len(accounts) == 0:
+            raise ConfigurationError("no accounts provisioned")
+        account = list(accounts)[self._account_cursor % len(accounts)]
+        self._account_cursor += 1
+        return account
+
+    def _contract_name(self, spec_name: str) -> str:
+        """Map a DApp key ('dota') to its deployed contract name."""
+        return CONTRACT_FACTORIES[spec_name]().name
+
+    def _invoke_gas_limit(self, contract: str, function: str,
+                          sample_tx: Transaction) -> int:
+        """Estimate a gas limit for a DApp call (probe once, cache).
+
+        Mirrors eth_estimateGas + safety margin. When the probe hits the
+        VM's hard budget the client still submits with a generous limit —
+        the paper's clients likewise submitted and received "budget
+        exceeded" errors from the chain (§6.4).
+        """
+        key = (contract, function)
+        cached = self._gas_estimates.get(key)
+        if cached is not None:
+            return cached
+        status, gas_used = self.network.vm.probe_gas(
+            self.network.state, sample_tx)
+        if status.value == "success":
+            limit = int(gas_used * 1.5)
+        else:
+            limit = max(DEFAULT_INVOKE_GAS_LIMIT, int(gas_used * 2))
+        self._gas_estimates[key] = limit
+        return limit
+
+    def encode(self, interaction: Interaction, resource: Any,
+               t: float) -> Transaction:
+        """Build and pre-sign the transaction for one interaction event.
+
+        Secondaries pre-sign transactions (§4); the signature uses the
+        chain's scheme so the signing cost model applies.
+        """
+        account = self._next_account()
+        if isinstance(interaction, TransferSpec):
+            recipient = self._next_account()
+            tx = transfer(account.address, recipient.address,
+                          amount=interaction.amount,
+                          sequence=account.next_sequence(),
+                          gas_limit=TRANSFER_GAS_LIMIT)
+        elif isinstance(interaction, InvokeSpec):
+            contract_name = self._contract_name(interaction.contract.name)
+            tx = invoke(account.address, contract_name,
+                        interaction.function, interaction.args,
+                        sequence=account.next_sequence(),
+                        gas_limit=DEFAULT_INVOKE_GAS_LIMIT)
+            tx.gas_limit = self._invoke_gas_limit(
+                contract_name, interaction.function, tx)
+        else:
+            raise SpecError(f"unknown interaction {interaction!r}")
+        scheme = self.network.params.signature_scheme
+        tx.signature = scheme.sign(account.private_key, tx.signing_payload())
+        if self.network.params.tx_expiry is not None:
+            tx.recent_block_hash = self.network.ledger.head.block_hash
+        return tx
+
+    # -- triggering ----------------------------------------------------------------------
+
+    def trigger(self, client: Client, encoded: Transaction) -> bool:
+        """Send the encoded interaction to the client's blockchain node."""
+        return self.network.submit(encoded).accepted

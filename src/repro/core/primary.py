@@ -1,0 +1,160 @@
+"""The DIABLO Primary: experiment coordinator (§4).
+
+"The purpose of the Primary machine is to coordinate the experiment: it
+generates the workload and dispatches it between Secondaries, launches the
+benchmark, aggregates the results and reports them back." Before the run it
+provisions the accounts and deploys the smart contracts the configuration
+names; afterwards it collects every Secondary's per-transaction timestamps
+into a :class:`BenchmarkResult` (the JSON output of the real tool).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.blockchains.base import (
+    BlockchainNetwork,
+    ExperimentScale,
+    default_scale,
+)
+from repro.blockchains.registry import build_network
+from repro.common.errors import ConfigurationError, DeploymentError
+from repro.core.interface import Client, SimConnector
+from repro.core.results import BenchmarkResult, TransactionRecord
+from repro.core.secondary import Secondary
+from repro.core.spec import WorkloadSpec
+from repro.sim.deployment import DeploymentConfig, get_configuration
+from repro.sim.engine import Engine
+
+DEFAULT_DRAIN = 240.0
+
+
+class Primary:
+    """Coordinates one benchmark run against one chain in one deployment."""
+
+    def __init__(self, chain: str,
+                 deployment: Union[str, DeploymentConfig],
+                 scale: Optional[float] = None,
+                 seed: int = 0,
+                 secondaries_per_region: int = 1,
+                 params: Optional["ChainParams"] = None) -> None:
+        """Coordinate benchmarks for *chain* in *deployment*.
+
+        Pass ``params`` to benchmark a chain that is not in the registry —
+        a custom :class:`~repro.blockchains.base.ChainParams` is all a new
+        blockchain needs (the §4 extensibility path; see
+        examples/custom_blockchain.py).
+        """
+        self.chain_name = chain
+        self.deployment = (get_configuration(deployment)
+                           if isinstance(deployment, str) else deployment)
+        self.scale = ExperimentScale(
+            default_scale() if scale is None else scale)
+        self.seed = seed
+        self.secondaries_per_region = secondaries_per_region
+        self.engine = Engine()
+        if params is not None:
+            from repro.blockchains.base import BlockchainNetwork
+            self.network = BlockchainNetwork(
+                params, self.deployment, self.engine,
+                scale=self.scale, seed=seed)
+        else:
+            self.network = build_network(
+                chain, self.deployment, self.engine,
+                scale=self.scale, seed=seed)
+        self.connector = SimConnector(self.network)
+        self.secondaries: List[Secondary] = []
+
+    # -- setup helpers ---------------------------------------------------------------
+
+    def _provision(self, spec: WorkloadSpec) -> None:
+        population = spec.account_population()
+        if population > 0:
+            self.network.create_accounts(population)
+        for dapp_name in spec.contracts_used():
+            from repro.core.spec import ContractSample
+            self.connector.create_resource(ContractSample(dapp_name))
+
+    def _build_secondaries(self, spec: WorkloadSpec) -> None:
+        """One Secondary per deployment region (collocated with nodes).
+
+        "each Secondary submits its requests to its collocated blockchain
+        node so as to mimic requests being routed from a client towards its
+        closest blockchain node" (§5.3).
+        """
+        regions = sorted({ep.region for ep in self.network.endpoints})
+        self.secondaries = []
+        for region in regions:
+            for i in range(self.secondaries_per_region):
+                self.secondaries.append(Secondary(
+                    name=f"secondary-{region}-{i}",
+                    region=region,
+                    engine=self.engine,
+                    connector=self.connector,
+                    scale=self.scale))
+
+    def _dispatch(self, spec: WorkloadSpec) -> None:
+        """Assign each workload group's clients to matching Secondaries."""
+        endpoint_names = [ep.name for ep in self.network.endpoints]
+        endpoint_region = {ep.name: ep.region for ep in self.network.endpoints}
+        client_counter = 0
+        for group in spec.workloads:
+            matching = [s for s in self.secondaries
+                        if group.client.location.matches(s.region)]
+            if not matching:
+                raise ConfigurationError(
+                    f"no Secondary matches location sample"
+                    f" {group.client.location.patterns}")
+            # split the group's clients round-robin over the Secondaries
+            per_secondary: Dict[int, List[Client]] = {
+                i: [] for i in range(len(matching))}
+            for n in range(group.number):
+                sec_index = n % len(matching)
+                secondary = matching[sec_index]
+                view = [name for name in endpoint_names
+                        if group.client.view.matches(name)
+                        and endpoint_region[name] == secondary.region]
+                if not view:
+                    view = [name for name in endpoint_names
+                            if group.client.view.matches(name)]
+                if not view:
+                    raise ConfigurationError(
+                        f"no endpoint matches view sample"
+                        f" {group.client.view.patterns}")
+                client = self.connector.create_client(
+                    f"client-{client_counter}", secondary.region, view)
+                client_counter += 1
+                per_secondary[sec_index].append(client)
+            for index, clients in per_secondary.items():
+                for behavior in group.client.behaviors:
+                    matching[index].assign(clients, behavior)
+
+    # -- the run ------------------------------------------------------------------------
+
+    def run(self, spec: WorkloadSpec, workload_name: str = "workload",
+            drain: float = DEFAULT_DRAIN) -> BenchmarkResult:
+        """Provision, dispatch, execute, aggregate."""
+        duration = spec.duration
+        self._provision(spec)
+        self._build_secondaries(spec)
+        self._dispatch(spec)
+        self.network.active_until = duration
+        for secondary in self.secondaries:
+            secondary.start()
+        self.engine.run(until=duration + drain)
+        return self._aggregate(spec, workload_name, duration)
+
+    def _aggregate(self, spec: WorkloadSpec, workload_name: str,
+                   duration: float) -> BenchmarkResult:
+        result = BenchmarkResult(
+            chain=self.chain_name,
+            configuration=self.deployment.name,
+            workload_name=workload_name,
+            duration=duration,
+            scale=self.scale.factor,
+            chain_stats=self.network.stats())
+        for secondary in self.secondaries:
+            for tx, client_name in secondary.sent:
+                result.records.append(
+                    TransactionRecord.from_transaction(tx, client_name))
+        return result

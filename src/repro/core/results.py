@@ -1,0 +1,238 @@
+"""Benchmark results: per-transaction records and aggregates.
+
+The DIABLO Primary aggregates, from every Secondary, "the start time and end
+time of each transaction" into a JSON file (§4); summary statistics and time
+series are computed post-mortem. :class:`BenchmarkResult` is that JSON
+file's in-memory form, with the aggregations the paper reports: average
+load, average throughput, average/median latency, the proportion of
+committed transactions, per-second time series and latency CDFs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chain.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class TransactionRecord:
+    """One transaction's benchmark-relevant timestamps and outcome."""
+
+    uid: int
+    kind: str
+    contract: Optional[str]
+    function: Optional[str]
+    client: str
+    submitted_at: float
+    committed_at: Optional[float]
+    aborted: bool
+    abort_reason: Optional[str]
+
+    @property
+    def committed(self) -> bool:
+        return self.committed_at is not None and not self.aborted
+
+    @property
+    def latency(self) -> Optional[float]:
+        if not self.committed:
+            return None
+        return self.committed_at - self.submitted_at
+
+    @staticmethod
+    def from_transaction(tx: Transaction, client: str = "") -> "TransactionRecord":
+        return TransactionRecord(
+            uid=tx.uid,
+            kind=tx.kind.value,
+            contract=tx.contract,
+            function=tx.function,
+            client=client,
+            submitted_at=tx.submitted_at if tx.submitted_at is not None else -1.0,
+            committed_at=None if tx.aborted else tx.committed_at,
+            aborted=tx.aborted,
+            abort_reason=tx.abort_reason)
+
+
+@dataclass
+class BenchmarkResult:
+    """Everything one benchmark run produced."""
+
+    chain: str
+    configuration: str
+    workload_name: str
+    duration: float
+    scale: float
+    records: List[TransactionRecord] = field(default_factory=list)
+    chain_stats: Dict[str, float] = field(default_factory=dict)
+
+    # -- core aggregates (unscaled back to real-experiment units) ----------------
+
+    def _unscale(self, rate: float) -> float:
+        return rate / self.scale if self.scale > 0 else rate
+
+    @property
+    def submitted(self) -> int:
+        return len(self.records)
+
+    def committed_records(self, window: Optional[float] = None
+                          ) -> List[TransactionRecord]:
+        """Records committed within the measurement window.
+
+        The window defaults to the run duration — commits that land after
+        the load generator stopped do not count toward throughput, matching
+        the paper's average-throughput-over-the-run metric.
+        """
+        horizon = self.duration if window is None else window
+        return [r for r in self.records
+                if r.committed and r.committed_at <= horizon]
+
+    @property
+    def average_load(self) -> float:
+        """Average submitted TPS (the paper's 'average workload')."""
+        if self.duration <= 0:
+            return 0.0
+        return self._unscale(self.submitted / self.duration)
+
+    @property
+    def average_throughput(self) -> float:
+        """Average committed TPS over the run window."""
+        if self.duration <= 0:
+            return 0.0
+        return self._unscale(len(self.committed_records()) / self.duration)
+
+    @property
+    def commit_ratio(self) -> float:
+        """Proportion of submitted transactions ever committed."""
+        if not self.records:
+            return 0.0
+        committed = sum(1 for r in self.records if r.committed)
+        return committed / len(self.records)
+
+    def latencies(self, window: Optional[float] = None) -> np.ndarray:
+        recs = (self.committed_records(window) if window is not None
+                else [r for r in self.records if r.committed])
+        return np.array([r.latency for r in recs], dtype=float)
+
+    @property
+    def average_latency(self) -> float:
+        lats = self.latencies(self.duration)
+        return float(lats.mean()) if lats.size else float("nan")
+
+    @property
+    def median_latency(self) -> float:
+        lats = self.latencies(self.duration)
+        return float(np.median(lats)) if lats.size else float("nan")
+
+    def latency_percentile(self, q: float) -> float:
+        lats = self.latencies()
+        return float(np.percentile(lats, q)) if lats.size else float("nan")
+
+    # -- time series -------------------------------------------------------------------
+
+    def throughput_series(self, bin_size: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """(bin start times, committed TPS per bin), unscaled."""
+        commits = np.array([r.committed_at for r in self.records
+                            if r.committed], dtype=float)
+        end = self.duration
+        bins = np.arange(0.0, end + bin_size, bin_size)
+        counts, edges = np.histogram(commits, bins=bins)
+        return edges[:-1], self._unscale(counts / bin_size)
+
+    def load_series(self, bin_size: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """(bin start times, submitted TPS per bin), unscaled."""
+        submits = np.array([r.submitted_at for r in self.records], dtype=float)
+        end = self.duration
+        bins = np.arange(0.0, end + bin_size, bin_size)
+        counts, edges = np.histogram(submits, bins=bins)
+        return edges[:-1], self._unscale(counts / bin_size)
+
+    def fraction_within(self, latency: float) -> float:
+        """Fraction of *submitted* transactions committed within *latency*.
+
+        The Fig. 6 statistic: "91% of the transactions are committed with
+        a latency of 8 seconds or less".
+        """
+        if not self.records:
+            return 0.0
+        within = sum(1 for r in self.records
+                     if r.committed and r.latency <= latency)
+        return within / len(self.records)
+
+    def latency_cdf(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(sorted latencies, cumulative fraction *of submitted*).
+
+        The CDF is normalised by submissions, so dropped transactions show
+        as the plateau below 1.0 — exactly the Fig. 6 presentation.
+        """
+        lats = np.sort(self.latencies())
+        if not self.records:
+            return lats, np.array([])
+        fractions = np.arange(1, lats.size + 1) / len(self.records)
+        return lats, fractions
+
+    # -- abort accounting ----------------------------------------------------------------
+
+    def abort_reasons(self) -> Dict[str, int]:
+        reasons: Dict[str, int] = {}
+        for record in self.records:
+            if record.aborted and record.abort_reason:
+                reasons[record.abort_reason] = reasons.get(
+                    record.abort_reason, 0) + 1
+        return reasons
+
+    def execution_failed(self) -> bool:
+        """True when the chain could not execute the DApp at all (Fig. 5's X).
+
+        Matches the paper's criterion: the client only ever sees "budget
+        exceeded" errors and no transaction of the workload commits.
+        """
+        budget_failures = self.abort_reasons().get("budget_exceeded", 0)
+        return budget_failures > 0 and not any(
+            r.committed for r in self.records)
+
+    # -- serialization ------------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "chain": self.chain,
+            "configuration": self.configuration,
+            "workload": self.workload_name,
+            "duration": self.duration,
+            "scale": self.scale,
+            "submitted": self.submitted,
+            "average_load_tps": round(self.average_load, 2),
+            "average_throughput_tps": round(self.average_throughput, 2),
+            "average_latency_s": round(self.average_latency, 3)
+            if self.records else None,
+            "median_latency_s": round(self.median_latency, 3)
+            if self.records else None,
+            "commit_ratio": round(self.commit_ratio, 4),
+            "aborts": self.abort_reasons(),
+            "chain_stats": self.chain_stats,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        payload = {
+            "summary": self.summary(),
+            "transactions": [asdict(record) for record in self.records],
+        }
+        return json.dumps(payload, indent=indent)
+
+    @staticmethod
+    def from_json(text: str) -> "BenchmarkResult":
+        payload = json.loads(text)
+        summary = payload["summary"]
+        result = BenchmarkResult(
+            chain=summary["chain"],
+            configuration=summary["configuration"],
+            workload_name=summary["workload"],
+            duration=summary["duration"],
+            scale=summary["scale"],
+            chain_stats=summary.get("chain_stats", {}))
+        for raw in payload["transactions"]:
+            result.records.append(TransactionRecord(**raw))
+        return result

@@ -1,0 +1,57 @@
+"""One-call benchmark pipeline.
+
+``run_trace`` is the ``diablo primary ... setup.yaml workload.yaml``
+command in one function: deploy the chain, provision resources, generate
+the workload, run, aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.primary import DEFAULT_DRAIN, Primary
+from repro.core.results import BenchmarkResult
+from repro.core.spec import WorkloadSpec, load_spec
+from repro.sim.deployment import DeploymentConfig
+from repro.workloads.traces import Trace
+
+
+def run_benchmark(chain: str, deployment: Union[str, DeploymentConfig],
+                  spec: Union[WorkloadSpec, str],
+                  workload_name: str = "workload",
+                  scale: Optional[float] = None,
+                  seed: int = 0,
+                  drain: float = DEFAULT_DRAIN) -> BenchmarkResult:
+    """Run one benchmark from a WorkloadSpec (or its YAML text)."""
+    if isinstance(spec, str):
+        spec = load_spec(spec)
+    primary = Primary(chain, deployment, scale=scale, seed=seed)
+    return primary.run(spec, workload_name=workload_name, drain=drain)
+
+
+def run_trace(chain: str, deployment: Union[str, DeploymentConfig],
+              trace: Trace,
+              accounts: int = 2_000,
+              clients: int = 1,
+              scale: Optional[float] = None,
+              seed: int = 0,
+              drain: float = DEFAULT_DRAIN) -> BenchmarkResult:
+    """Run one of the workload-suite traces against a chain."""
+    spec = trace.spec(accounts=accounts, clients=clients)
+    return run_benchmark(chain, deployment, spec,
+                         workload_name=trace.name,
+                         scale=scale, seed=seed, drain=drain)
+
+
+def run_matrix(chains: Iterable[str],
+               deployment: Union[str, DeploymentConfig],
+               trace: Trace,
+               scale: Optional[float] = None,
+               seed: int = 0,
+               **kwargs) -> Dict[str, BenchmarkResult]:
+    """Run the same trace against several chains (a figure column)."""
+    results: Dict[str, BenchmarkResult] = {}
+    for chain in chains:
+        results[chain] = run_trace(chain, deployment, trace,
+                                   scale=scale, seed=seed, **kwargs)
+    return results

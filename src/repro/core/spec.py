@@ -1,0 +1,379 @@
+"""The DIABLO workload specification language (§4).
+
+A benchmark configuration names the resources of the test (accounts,
+contracts), maps clients to Secondary locations and blockchain endpoints
+(the paper's function ``M``), and gives each client a behaviour: an
+interaction to perform at a rate schedule. The YAML form is the paper's,
+custom tags included:
+
+.. code-block:: yaml
+
+    let:
+      - &loc { sample: !location [ "us-east-2" ] }
+      - &end { sample: !endpoint [ ".*" ] }
+      - &acc { sample: !account { number: 2000 } }
+      - &dapp { sample: !contract { name: "dota" } }
+    workloads:
+      - number: 3
+        client:
+          location: *loc
+          view: *end
+          behavior:
+            - interaction: !invoke
+                from: *acc
+                contract: *dapp
+                function: "update(1, 1)"
+              load:
+                0: 4432
+                50: 4438
+                120: 0
+
+Specs can equally be built programmatically from the dataclasses below.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import yaml
+
+from repro.common.errors import SpecError
+
+# -- samples (the `let:` bindings) --------------------------------------------
+
+
+@dataclass(frozen=True)
+class LocationSample:
+    """Secondary locations, by region tag (``!location``)."""
+
+    patterns: Tuple[str, ...]
+
+    def matches(self, region: str) -> bool:
+        return any(re.fullmatch(p, region) for p in self.patterns)
+
+
+@dataclass(frozen=True)
+class EndpointSample:
+    """Blockchain endpoints, by name regex (``!endpoint``)."""
+
+    patterns: Tuple[str, ...]
+
+    def matches(self, endpoint_name: str) -> bool:
+        return any(re.fullmatch(p, endpoint_name) for p in self.patterns)
+
+
+@dataclass(frozen=True)
+class AccountSample:
+    """A population of funded accounts (``!account``)."""
+
+    number: int
+
+    def __post_init__(self) -> None:
+        if self.number <= 0:
+            raise SpecError("account sample needs a positive number")
+
+
+@dataclass(frozen=True)
+class ContractSample:
+    """A deployed DApp instance (``!contract``)."""
+
+    name: str
+
+
+Sample = Union[LocationSample, EndpointSample, AccountSample, ContractSample]
+
+# -- interactions ---------------------------------------------------------------
+
+
+_CALL_RE = re.compile(r"^\s*(\w+)\s*(?:\((.*)\))?\s*$")
+
+
+def parse_function_call(call: str) -> Tuple[str, Tuple[Any, ...]]:
+    """Parse ``"update(1, 1)"`` into ``("update", (1, 1))``.
+
+    Arguments are YAML scalars (ints, floats, strings).
+    """
+    match = _CALL_RE.match(call)
+    if match is None:
+        raise SpecError(f"cannot parse function call {call!r}")
+    name, arg_text = match.group(1), match.group(2)
+    if not arg_text:
+        return name, ()
+    args = []
+    for chunk in arg_text.split(","):
+        chunk = chunk.strip()
+        args.append(yaml.safe_load(chunk))
+    return name, tuple(args)
+
+
+@dataclass(frozen=True)
+class InvokeSpec:
+    """``!invoke``: call a DApp function from a pool of accounts."""
+
+    from_accounts: AccountSample
+    contract: ContractSample
+    function: str
+    args: Tuple[Any, ...] = ()
+
+    @staticmethod
+    def from_call(from_accounts: AccountSample, contract: ContractSample,
+                  call: str) -> "InvokeSpec":
+        name, args = parse_function_call(call)
+        return InvokeSpec(from_accounts, contract, name, args)
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """``!transfer``: native coin transfer between sampled accounts."""
+
+    from_accounts: AccountSample
+    amount: int = 1
+
+
+Interaction = Union[InvokeSpec, TransferSpec]
+
+# -- load schedules -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoadSchedule:
+    """Piecewise-constant request rate over time.
+
+    ``points`` maps a start time to a rate; the schedule ends at the last
+    point (whose rate is conventionally 0, as in the paper's example).
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise SpecError("load schedule needs at least one point")
+        times = [t for t, _ in self.points]
+        if times != sorted(times):
+            raise SpecError("load schedule times must be increasing")
+        if any(rate < 0 for _, rate in self.points):
+            raise SpecError("load rates cannot be negative")
+
+    @staticmethod
+    def from_mapping(mapping: Dict[float, float]) -> "LoadSchedule":
+        return LoadSchedule(tuple(sorted(
+            (float(t), float(r)) for t, r in mapping.items())))
+
+    @staticmethod
+    def constant(rate: float, duration: float) -> "LoadSchedule":
+        return LoadSchedule(((0.0, float(rate)), (float(duration), 0.0)))
+
+    @property
+    def duration(self) -> float:
+        return self.points[-1][0]
+
+    def rate_at(self, t: float) -> float:
+        if t < 0 or t >= self.duration and self.duration > 0:
+            return 0.0
+        current = 0.0
+        for start, rate in self.points:
+            if start <= t:
+                current = rate
+            else:
+                break
+        return current
+
+    def total_transactions(self) -> float:
+        """Integral of the rate over the schedule."""
+        total = 0.0
+        for (t0, rate), (t1, _) in zip(self.points, self.points[1:]):
+            total += rate * (t1 - t0)
+        return total
+
+    def scaled(self, factor: float) -> "LoadSchedule":
+        """Scale every rate (used by the experiment scale transform)."""
+        return LoadSchedule(tuple((t, r * factor) for t, r in self.points))
+
+
+# -- client behaviours and workloads ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Behavior:
+    """One interaction performed at a load schedule."""
+
+    interaction: Interaction
+    load: LoadSchedule
+
+
+@dataclass(frozen=True)
+class ClientSpec:
+    """Where a client runs, which endpoints it sees, and what it does."""
+
+    location: LocationSample
+    view: EndpointSample
+    behaviors: Tuple[Behavior, ...]
+
+
+@dataclass(frozen=True)
+class WorkloadGroup:
+    """``number`` identical clients sharing a ClientSpec."""
+
+    number: int
+    client: ClientSpec
+
+    def __post_init__(self) -> None:
+        if self.number <= 0:
+            raise SpecError("workload group needs a positive client count")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete benchmark configuration."""
+
+    workloads: Tuple[WorkloadGroup, ...]
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise SpecError("a workload spec needs at least one workload")
+
+    @property
+    def duration(self) -> float:
+        return max(behavior.load.duration
+                   for group in self.workloads
+                   for behavior in group.client.behaviors)
+
+    def account_population(self) -> int:
+        """Largest account sample any behaviour draws from."""
+        sizes = [0]
+        for group in self.workloads:
+            for behavior in group.client.behaviors:
+                interaction = behavior.interaction
+                sizes.append(interaction.from_accounts.number)
+        return max(sizes)
+
+    def contracts_used(self) -> List[str]:
+        names = []
+        for group in self.workloads:
+            for behavior in group.client.behaviors:
+                if isinstance(behavior.interaction, InvokeSpec):
+                    name = behavior.interaction.contract.name
+                    if name not in names:
+                        names.append(name)
+        return names
+
+    def offered_load(self) -> float:
+        """Aggregate average offered rate in TPS."""
+        total_tx = sum(group.number * behavior.load.total_transactions()
+                       for group in self.workloads
+                       for behavior in group.client.behaviors)
+        duration = self.duration
+        return total_tx / duration if duration > 0 else 0.0
+
+
+# -- YAML loading -----------------------------------------------------------------------
+
+
+class _SpecLoader(yaml.SafeLoader):
+    """SafeLoader plus the DIABLO custom tags."""
+
+
+def _location(loader: yaml.Loader, node: yaml.Node) -> LocationSample:
+    return LocationSample(tuple(loader.construct_sequence(node)))
+
+
+def _endpoint(loader: yaml.Loader, node: yaml.Node) -> EndpointSample:
+    return EndpointSample(tuple(loader.construct_sequence(node)))
+
+
+def _account(loader: yaml.Loader, node: yaml.Node) -> AccountSample:
+    mapping = loader.construct_mapping(node)
+    return AccountSample(int(mapping["number"]))
+
+
+def _contract(loader: yaml.Loader, node: yaml.Node) -> ContractSample:
+    mapping = loader.construct_mapping(node)
+    return ContractSample(str(mapping["name"]))
+
+
+def _invoke(loader: yaml.Loader, node: yaml.Node) -> Dict[str, Any]:
+    mapping = loader.construct_mapping(node, deep=True)
+    mapping["__kind__"] = "invoke"
+    return mapping
+
+
+def _transfer(loader: yaml.Loader, node: yaml.Node) -> Dict[str, Any]:
+    mapping = loader.construct_mapping(node, deep=True)
+    mapping["__kind__"] = "transfer"
+    return mapping
+
+
+_SpecLoader.add_constructor("!location", _location)
+_SpecLoader.add_constructor("!endpoint", _endpoint)
+_SpecLoader.add_constructor("!account", _account)
+_SpecLoader.add_constructor("!contract", _contract)
+_SpecLoader.add_constructor("!invoke", _invoke)
+_SpecLoader.add_constructor("!transfer", _transfer)
+
+
+def _resolve_sample(value: Any, expected: type, what: str) -> Any:
+    """Unwrap a `{sample: <tag>}` binding or accept the sample directly."""
+    if isinstance(value, dict) and "sample" in value:
+        value = value["sample"]
+    if not isinstance(value, expected):
+        raise SpecError(f"{what}: expected {expected.__name__},"
+                        f" got {type(value).__name__}")
+    return value
+
+
+def _build_interaction(raw: Any) -> Interaction:
+    if not isinstance(raw, dict) or "__kind__" not in raw:
+        raise SpecError(f"behavior interaction must be !invoke or !transfer,"
+                        f" got {raw!r}")
+    kind = raw["__kind__"]
+    accounts = _resolve_sample(raw.get("from"), AccountSample, "from")
+    if kind == "transfer":
+        return TransferSpec(accounts, int(raw.get("amount", 1)))
+    contract = _resolve_sample(raw.get("contract"), ContractSample, "contract")
+    return InvokeSpec.from_call(accounts, contract, str(raw["function"]))
+
+
+def spec_from_dict(document: Dict[str, Any]) -> WorkloadSpec:
+    """Build a WorkloadSpec from a parsed configuration document."""
+    try:
+        raw_groups = document["workloads"]
+    except (KeyError, TypeError):
+        raise SpecError("configuration needs a top-level 'workloads' list") from None
+    groups: List[WorkloadGroup] = []
+    for raw_group in raw_groups:
+        raw_client = raw_group["client"]
+        location = _resolve_sample(raw_client.get("location"),
+                                   LocationSample, "client.location")
+        view = _resolve_sample(raw_client.get("view"),
+                               EndpointSample, "client.view")
+        behaviors = []
+        for raw_behavior in raw_client["behavior"]:
+            interaction = _build_interaction(raw_behavior["interaction"])
+            load = LoadSchedule.from_mapping(raw_behavior["load"])
+            behaviors.append(Behavior(interaction, load))
+        groups.append(WorkloadGroup(
+            number=int(raw_group.get("number", 1)),
+            client=ClientSpec(location, view, tuple(behaviors))))
+    return WorkloadSpec(tuple(groups))
+
+
+def load_spec(text: str) -> WorkloadSpec:
+    """Parse a YAML benchmark configuration into a WorkloadSpec."""
+    document = yaml.load(text, Loader=_SpecLoader)
+    if document is None:
+        raise SpecError("empty specification document")
+    return spec_from_dict(document)
+
+
+def simple_spec(interaction: Interaction, load: LoadSchedule,
+                clients: int = 1, location: str = ".*",
+                view: str = ".*") -> WorkloadSpec:
+    """Programmatic shorthand: one workload group, one behaviour."""
+    return WorkloadSpec((WorkloadGroup(
+        number=clients,
+        client=ClientSpec(
+            location=LocationSample((location,)),
+            view=EndpointSample((view,)),
+            behaviors=(Behavior(interaction, load),))),))

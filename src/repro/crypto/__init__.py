@@ -1,0 +1,23 @@
+"""Simulated cryptography: deterministic hashing and cost-modeled signing."""
+
+from repro.crypto.hashing import digest, hash_cost, merkle_root
+from repro.crypto.signing import (
+    ECDSA,
+    ED25519,
+    RSA4096,
+    SCHEMES,
+    SignatureScheme,
+    keypair,
+)
+
+__all__ = [
+    "ECDSA",
+    "ED25519",
+    "RSA4096",
+    "SCHEMES",
+    "SignatureScheme",
+    "digest",
+    "hash_cost",
+    "keypair",
+    "merkle_root",
+]

@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate: engine, network and machines."""
+
+from repro.sim.engine import Engine, EventHandle, PeriodicTask, run_simulation
+from repro.sim.machine import (
+    C5_2XLARGE,
+    C5_9XLARGE,
+    C5_XLARGE,
+    INSTANCE_TYPES,
+    InstanceType,
+    Machine,
+)
+from repro.sim.network import (
+    REGIONS,
+    Endpoint,
+    Network,
+    bandwidth_between,
+    bandwidth_matrix,
+    rtt_between,
+    rtt_matrix,
+    spread_endpoints,
+)
+
+__all__ = [
+    "C5_2XLARGE",
+    "C5_9XLARGE",
+    "C5_XLARGE",
+    "Endpoint",
+    "Engine",
+    "EventHandle",
+    "INSTANCE_TYPES",
+    "InstanceType",
+    "Machine",
+    "Network",
+    "PeriodicTask",
+    "REGIONS",
+    "bandwidth_between",
+    "bandwidth_matrix",
+    "rtt_between",
+    "rtt_matrix",
+    "run_simulation",
+    "spread_endpoints",
+]

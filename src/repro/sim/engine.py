@@ -1,0 +1,199 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic event-calendar simulator: callbacks are scheduled at
+virtual timestamps and executed in timestamp order. Everything in the
+reproduction — blockchain nodes, consensus message exchanges, DIABLO
+secondaries injecting load — runs on top of one :class:`Engine` per
+experiment, so an entire geo-distributed 200-node benchmark executes
+deterministically in a single OS process.
+
+Events scheduled at the same virtual time are ordered by insertion order,
+which keeps runs reproducible regardless of dict/set iteration details.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.common.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event; a cancelled event's callback never runs."""
+        self._event.cancelled = True
+
+
+class Engine:
+    """Deterministic discrete-event scheduler with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._now = 0.0
+        self._sequence = 0
+        self._running = False
+        self._events_executed = 0
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (for tests/diagnostics)."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the calendar (including cancelled)."""
+        return len(self._queue)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule_at(self, time: float, callback: EventCallback,
+                    label: str = "") -> EventHandle:
+        """Schedule *callback* to run at absolute virtual time *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f} before now={self._now:.6f}"
+                f" (label={label!r})")
+        event = _ScheduledEvent(time, self._sequence, callback, label=label)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_after(self, delay: float, callback: EventCallback,
+                       label: str = "") -> EventHandle:
+        """Schedule *callback* to run *delay* seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} (label={label!r})")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event. Return False if none left."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the calendar drains, *until* is reached, or *max_events*.
+
+        When *until* is given, the clock is advanced to exactly *until* even
+        if the last event fires earlier, so subsequent scheduling is relative
+        to the requested horizon.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = head.time
+                self._events_executed += 1
+                executed += 1
+                head.callback()
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+
+class PeriodicTask:
+    """Helper running a callback at a fixed period until stopped.
+
+    The callback receives no arguments; use closures to capture state. The
+    task tolerates the callback raising StopIteration to stop itself.
+    """
+
+    def __init__(self, engine: Engine, period: float,
+                 callback: EventCallback, start_at: Optional[float] = None,
+                 label: str = "") -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self._engine = engine
+        self._period = period
+        self._callback = callback
+        self._label = label
+        self._stopped = False
+        self._handle: Optional[EventHandle] = None
+        first = engine.now if start_at is None else start_at
+        self._handle = engine.schedule_at(first, self._tick, label=label)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        try:
+            self._callback()
+        except StopIteration:
+            self._stopped = True
+            return
+        if not self._stopped:
+            self._handle = self._engine.schedule_after(
+                self._period, self._tick, label=self._label)
+
+
+def run_simulation(setup: Callable[[Engine], Any],
+                   until: Optional[float] = None) -> Engine:
+    """Convenience: build an engine, call *setup*, run it, return the engine."""
+    engine = Engine()
+    setup(engine)
+    engine.run(until=until)
+    return engine

@@ -1,0 +1,140 @@
+"""Simulated machines (AWS c5 instance types from §5.1).
+
+A :class:`Machine` models a virtual machine with a number of vCPUs and an
+amount of memory. CPU work is modeled as a processor-sharing queue: callers
+submit jobs measured in CPU-seconds and the machine tells them when the work
+completes given its parallelism. This is what makes the datacenter
+configuration (36 vCPUs) execute signature checks and contract code faster
+than the testnet configuration (4 vCPUs), reproducing the §6.2 effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.units import GIB
+from repro.sim.engine import Engine
+from repro.sim.network import Endpoint
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """An AWS instance type: name, vCPU count and memory in bytes.
+
+    ``speed_factor`` captures per-core speed relative to the c5 baseline
+    (all c5 sizes share the same cores, so it is 1.0 for all of them, but
+    the knob exists for what-if experiments).
+    """
+
+    name: str
+    vcpus: int
+    memory: int
+    speed_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0:
+            raise ConfigurationError(f"vcpus must be positive: {self}")
+        if self.memory <= 0:
+            raise ConfigurationError(f"memory must be positive: {self}")
+
+
+C5_XLARGE = InstanceType("c5.xlarge", vcpus=4, memory=8 * GIB)
+C5_2XLARGE = InstanceType("c5.2xlarge", vcpus=8, memory=16 * GIB)
+C5_9XLARGE = InstanceType("c5.9xlarge", vcpus=36, memory=72 * GIB)
+
+INSTANCE_TYPES: Dict[str, InstanceType] = {
+    t.name: t for t in (C5_XLARGE, C5_2XLARGE, C5_9XLARGE)
+}
+
+
+class Machine:
+    """A machine running in a region, executing CPU jobs.
+
+    CPU execution uses a simple M/G/k-style approximation: the machine keeps
+    a per-core "busy until" horizon; each job is assigned the earliest-free
+    core. This preserves ordering effects (a 4-vCPU node saturates at lower
+    request rates than a 36-vCPU node) while staying O(1) per job.
+    """
+
+    def __init__(self, engine: Engine, endpoint: Endpoint,
+                 instance_type: InstanceType) -> None:
+        self.engine = engine
+        self.endpoint = endpoint
+        self.instance_type = instance_type
+        self._core_free_at = [0.0] * instance_type.vcpus
+        self._memory_used = 0
+        self.cpu_seconds_total = 0.0
+        self.jobs_executed = 0
+
+    @property
+    def name(self) -> str:
+        return self.endpoint.name
+
+    @property
+    def region(self) -> str:
+        return self.endpoint.region
+
+    # -- memory ---------------------------------------------------------------
+
+    @property
+    def memory_used(self) -> int:
+        return self._memory_used
+
+    @property
+    def memory_available(self) -> int:
+        return self.instance_type.memory - self._memory_used
+
+    def allocate(self, size: int) -> bool:
+        """Reserve memory; return False when it does not fit."""
+        if size < 0:
+            raise SimulationError(f"negative allocation {size}")
+        if self._memory_used + size > self.instance_type.memory:
+            return False
+        self._memory_used += size
+        return True
+
+    def release(self, size: int) -> None:
+        self._memory_used = max(0, self._memory_used - size)
+
+    # -- CPU ----------------------------------------------------------------------
+
+    def execute(self, cpu_seconds: float,
+                on_done: Optional[Callable[[], None]] = None,
+                label: str = "") -> float:
+        """Run a job costing *cpu_seconds*; return its completion time.
+
+        The job runs on the earliest-available core; the completion callback
+        (if any) fires at the completion time.
+        """
+        if cpu_seconds < 0:
+            raise SimulationError(f"negative cpu time {cpu_seconds}")
+        now = self.engine.now
+        scaled = cpu_seconds / self.instance_type.speed_factor
+        core = min(range(len(self._core_free_at)),
+                   key=self._core_free_at.__getitem__)
+        start = max(now, self._core_free_at[core])
+        finish = start + scaled
+        self._core_free_at[core] = finish
+        self.cpu_seconds_total += scaled
+        self.jobs_executed += 1
+        if on_done is not None:
+            self.engine.schedule_at(finish, on_done, label=label)
+        return finish
+
+    def utilization(self, window: float) -> float:
+        """Fraction of CPU capacity used over the last *window* seconds.
+
+        A coarse diagnostic: busy core-time remaining relative to now,
+        normalised by capacity.
+        """
+        if window <= 0:
+            raise SimulationError("window must be positive")
+        now = self.engine.now
+        busy = sum(max(0.0, t - now) for t in self._core_free_at)
+        return min(1.0, busy / (window * self.instance_type.vcpus))
+
+    def backlog(self) -> float:
+        """Seconds until all currently queued CPU work drains."""
+        return max(0.0, max(self._core_free_at) - self.engine.now)

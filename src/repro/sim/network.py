@@ -1,0 +1,304 @@
+"""Simulated wide-area network.
+
+The topology is the 10-region AWS deployment the paper measures with iperf3
+(Table 3, right side): the round-trip time between each pair of regions and
+the available bandwidth. Machines in the same region communicate over the
+datacenter fabric (1 ms RTT, 10 Gbps — the c5 instance network in §5.1).
+
+Message delivery time = propagation (RTT/2) + serialization (size/bandwidth)
++ lognormal jitter. Each directed region pair has a bandwidth pipe shared by
+its messages, so saturating a link queues traffic, which is how overload
+experiments (Fig. 4) develop growing latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import NetworkError
+from repro.common.rng import RngFactory
+from repro.common.units import gbps, mbps, ms
+from repro.sim.engine import Engine
+
+REGIONS: Tuple[str, ...] = (
+    "cape-town",
+    "tokyo",
+    "mumbai",
+    "sydney",
+    "stockholm",
+    "milan",
+    "bahrain",
+    "sao-paulo",
+    "ohio",
+    "oregon",
+)
+
+# Round-trip time in milliseconds between regions (Table 3, bottom-left, red).
+# Key order matches REGIONS; matrix[i][j] for i > j holds the measured value
+# and the matrix is symmetrised below.
+_RTT_MS_LOWER: Dict[Tuple[str, str], float] = {
+    ("tokyo", "cape-town"): 354.0,
+    ("mumbai", "cape-town"): 272.0,
+    ("mumbai", "tokyo"): 127.2,
+    ("sydney", "cape-town"): 410.4,
+    ("sydney", "tokyo"): 102.3,
+    ("sydney", "mumbai"): 146.8,
+    ("stockholm", "cape-town"): 179.7,
+    ("stockholm", "tokyo"): 241.2,
+    ("stockholm", "mumbai"): 138.9,
+    ("stockholm", "sydney"): 295.7,
+    ("milan", "cape-town"): 162.4,
+    ("milan", "tokyo"): 214.8,
+    ("milan", "mumbai"): 110.8,
+    ("milan", "sydney"): 238.8,
+    ("milan", "stockholm"): 30.2,
+    ("bahrain", "cape-town"): 287.0,
+    ("bahrain", "tokyo"): 164.3,
+    ("bahrain", "mumbai"): 36.4,
+    ("bahrain", "sydney"): 179.2,
+    ("bahrain", "stockholm"): 137.9,
+    ("bahrain", "milan"): 108.2,
+    ("sao-paulo", "cape-town"): 340.5,
+    ("sao-paulo", "tokyo"): 256.6,
+    ("sao-paulo", "mumbai"): 305.6,
+    ("sao-paulo", "sydney"): 310.5,
+    ("sao-paulo", "stockholm"): 214.9,
+    ("sao-paulo", "milan"): 211.9,
+    ("sao-paulo", "bahrain"): 320.0,
+    ("ohio", "cape-town"): 237.0,
+    ("ohio", "tokyo"): 131.8,
+    ("ohio", "mumbai"): 197.3,
+    ("ohio", "sydney"): 187.9,
+    ("ohio", "stockholm"): 120.0,
+    ("ohio", "milan"): 109.2,
+    ("ohio", "bahrain"): 212.7,
+    ("ohio", "sao-paulo"): 121.9,
+    ("oregon", "cape-town"): 276.6,
+    ("oregon", "tokyo"): 96.7,
+    ("oregon", "mumbai"): 215.8,
+    ("oregon", "sydney"): 139.7,
+    ("oregon", "stockholm"): 162.0,
+    ("oregon", "milan"): 157.8,
+    ("oregon", "bahrain"): 251.4,
+    ("oregon", "sao-paulo"): 178.3,
+    ("oregon", "ohio"): 55.2,
+}
+
+# Bandwidth in Mbps between regions (Table 3, top-right, green).
+_BW_MBPS_UPPER: Dict[Tuple[str, str], float] = {
+    ("cape-town", "tokyo"): 26.1,
+    ("cape-town", "mumbai"): 36.0,
+    ("cape-town", "sydney"): 20.8,
+    ("cape-town", "stockholm"): 59.8,
+    ("cape-town", "milan"): 67.1,
+    ("cape-town", "bahrain"): 33.6,
+    ("cape-town", "sao-paulo"): 27.1,
+    ("cape-town", "ohio"): 43.6,
+    ("cape-town", "oregon"): 35.9,
+    ("tokyo", "mumbai"): 89.3,
+    ("tokyo", "sydney"): 112.1,
+    ("tokyo", "stockholm"): 42.1,
+    ("tokyo", "milan"): 48.1,
+    ("tokyo", "bahrain"): 66.8,
+    ("tokyo", "sao-paulo"): 39.3,
+    ("tokyo", "ohio"): 85.8,
+    ("tokyo", "oregon"): 108.8,
+    ("mumbai", "sydney"): 75.9,
+    ("mumbai", "stockholm"): 81.3,
+    ("mumbai", "milan"): 103.2,
+    ("mumbai", "bahrain"): 336.3,
+    ("mumbai", "sao-paulo"): 30.8,
+    ("mumbai", "ohio"): 53.3,
+    ("mumbai", "oregon"): 48.5,
+    ("sydney", "stockholm"): 32.0,
+    ("sydney", "milan"): 42.4,
+    ("sydney", "bahrain"): 59.6,
+    ("sydney", "sao-paulo"): 31.2,
+    ("sydney", "ohio"): 57.0,
+    ("sydney", "oregon"): 80.8,
+    ("stockholm", "milan"): 404.6,
+    ("stockholm", "bahrain"): 81.8,
+    ("stockholm", "sao-paulo"): 48.2,
+    ("stockholm", "ohio"): 94.7,
+    ("stockholm", "oregon"): 67.6,
+    ("milan", "bahrain"): 105.7,
+    ("milan", "sao-paulo"): 49.4,
+    ("milan", "ohio"): 104.9,
+    ("milan", "oregon"): 70.1,
+    ("bahrain", "sao-paulo"): 29.9,
+    ("bahrain", "ohio"): 49.4,
+    ("bahrain", "oregon"): 38.7,
+    ("sao-paulo", "ohio"): 92.3,
+    ("sao-paulo", "oregon"): 60.5,
+    ("ohio", "oregon"): 105.0,
+}
+
+INTRA_REGION_RTT = ms(1.0)
+INTRA_REGION_BANDWIDTH = gbps(10.0)
+
+
+def _region_index() -> Dict[str, int]:
+    return {region: i for i, region in enumerate(REGIONS)}
+
+
+def rtt_matrix() -> np.ndarray:
+    """Symmetric matrix of RTTs in seconds, intra-region on the diagonal."""
+    index = _region_index()
+    matrix = np.full((len(REGIONS), len(REGIONS)), INTRA_REGION_RTT)
+    for (a, b), value in _RTT_MS_LOWER.items():
+        matrix[index[a], index[b]] = ms(value)
+        matrix[index[b], index[a]] = ms(value)
+    return matrix
+
+
+def bandwidth_matrix() -> np.ndarray:
+    """Symmetric matrix of bandwidths in bytes/s, intra-region diagonal."""
+    index = _region_index()
+    matrix = np.full((len(REGIONS), len(REGIONS)), INTRA_REGION_BANDWIDTH)
+    for (a, b), value in _BW_MBPS_UPPER.items():
+        matrix[index[a], index[b]] = mbps(value)
+        matrix[index[b], index[a]] = mbps(value)
+    return matrix
+
+
+def rtt_between(a: str, b: str) -> float:
+    """RTT in seconds between two regions (1 ms within a region)."""
+    index = _region_index()
+    if a not in index or b not in index:
+        raise NetworkError(f"unknown region in pair ({a!r}, {b!r})")
+    return float(rtt_matrix()[index[a], index[b]])
+
+
+def bandwidth_between(a: str, b: str) -> float:
+    """Bandwidth in bytes/s between two regions."""
+    index = _region_index()
+    if a not in index or b not in index:
+        raise NetworkError(f"unknown region in pair ({a!r}, {b!r})")
+    return float(bandwidth_matrix()[index[a], index[b]])
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A network endpoint: a named machine living in a region."""
+
+    name: str
+    region: str
+
+    def __post_init__(self) -> None:
+        if self.region not in REGIONS:
+            raise NetworkError(f"unknown region {self.region!r}")
+
+
+class _LinkPipe:
+    """Serialization queue for a directed region pair.
+
+    Models the shared bandwidth of the inter-region path: each message
+    occupies the pipe for size/bandwidth seconds, and messages queue behind
+    each other FIFO. ``free_at`` tracks when the pipe next becomes idle.
+    """
+
+    __slots__ = ("bandwidth", "free_at")
+
+    def __init__(self, bandwidth: float) -> None:
+        self.bandwidth = bandwidth
+        self.free_at = 0.0
+
+    def reserve(self, now: float, size: int) -> Tuple[float, float]:
+        """Reserve the pipe for a message; return (start, transfer_time)."""
+        start = max(now, self.free_at)
+        transfer = size / self.bandwidth
+        self.free_at = start + transfer
+        return start, transfer
+
+
+class Network:
+    """Point-to-point message delivery over the Table 3 topology.
+
+    Delivery time for a message of ``size`` bytes from region A to region B:
+
+        queueing-on-pipe + size/bandwidth(A,B) + RTT(A,B)/2 + jitter
+
+    Jitter is lognormal with a 5 % coefficient of variation, seeded from the
+    experiment seed so runs are reproducible.
+    """
+
+    def __init__(self, engine: Engine, rng_factory: Optional[RngFactory] = None,
+                 jitter_cv: float = 0.05, model_bandwidth: bool = True) -> None:
+        self.engine = engine
+        self._rng = (rng_factory or RngFactory(0)).stream("network", "jitter")
+        self._jitter_cv = jitter_cv
+        self._model_bandwidth = model_bandwidth
+        self._index = _region_index()
+        self._rtt = rtt_matrix()
+        self._bw = bandwidth_matrix()
+        self._pipes: Dict[Tuple[int, int], _LinkPipe] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- queries -------------------------------------------------------------
+
+    def one_way_delay(self, src_region: str, dst_region: str) -> float:
+        """Base propagation delay (RTT/2) between two regions, no jitter."""
+        i, j = self._index[src_region], self._index[dst_region]
+        return float(self._rtt[i, j]) / 2.0
+
+    def _pipe(self, i: int, j: int) -> _LinkPipe:
+        pipe = self._pipes.get((i, j))
+        if pipe is None:
+            pipe = _LinkPipe(float(self._bw[i, j]))
+            self._pipes[(i, j)] = pipe
+        return pipe
+
+    def _jitter(self, base: float) -> float:
+        if self._jitter_cv <= 0:
+            return 0.0
+        sigma = self._jitter_cv
+        # lognormal with mean ~1, scaled to a fraction of the base delay
+        factor = float(self._rng.lognormal(mean=-sigma * sigma / 2, sigma=sigma))
+        return base * (factor - 1.0) if factor > 1.0 else 0.0
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, src: Endpoint, dst: Endpoint, size: int,
+             on_delivery: Callable[[], None], label: str = "") -> float:
+        """Schedule delivery of a message; return the delivery time."""
+        if size < 0:
+            raise NetworkError(f"negative message size {size}")
+        i, j = self._index[src.region], self._index[dst.region]
+        now = self.engine.now
+        propagation = float(self._rtt[i, j]) / 2.0
+        if self._model_bandwidth:
+            start, transfer = self._pipe(i, j).reserve(now, size)
+            queueing = start - now
+        else:
+            transfer = size / float(self._bw[i, j])
+            queueing = 0.0
+        delay = queueing + transfer + propagation + self._jitter(propagation)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.engine.schedule_after(delay, on_delivery, label=label)
+        return now + delay
+
+    def broadcast(self, src: Endpoint, dsts: Iterable[Endpoint], size: int,
+                  on_delivery: Callable[[Endpoint], None],
+                  label: str = "") -> List[float]:
+        """Send the same message to many endpoints; return delivery times."""
+        times = []
+        for dst in dsts:
+            times.append(self.send(
+                src, dst, size,
+                (lambda d=dst: on_delivery(d)), label=label))
+        return times
+
+
+def spread_endpoints(count: int, regions: Iterable[str] = REGIONS,
+                     prefix: str = "node") -> List[Endpoint]:
+    """Spread *count* endpoints equally among *regions* (paper §5.1)."""
+    region_list = list(regions)
+    if not region_list:
+        raise NetworkError("at least one region required")
+    return [Endpoint(f"{prefix}-{i}", region_list[i % len(region_list)])
+            for i in range(count)]

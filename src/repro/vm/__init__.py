@@ -1,0 +1,41 @@
+"""Gas-metered virtual machines and the portable contract framework."""
+
+from repro.vm.base import (
+    DEFAULT_GAS_PER_CPU_SECOND,
+    DeployedContract,
+    VirtualMachine,
+)
+from repro.vm.gas import DEFAULT_SCHEDULE, GasMeter, GasSchedule
+from repro.vm.machines import (
+    AVM_CAPS,
+    EBPF_CAPS,
+    GETH_EVM_CAPS,
+    MOVE_VM_CAPS,
+    VM_FACTORIES,
+    avm,
+    ebpf_vm,
+    geth_evm,
+    move_vm,
+)
+from repro.vm.program import Contract, ExecutionContext, VMCapabilities
+
+__all__ = [
+    "AVM_CAPS",
+    "Contract",
+    "DEFAULT_GAS_PER_CPU_SECOND",
+    "DEFAULT_SCHEDULE",
+    "DeployedContract",
+    "EBPF_CAPS",
+    "ExecutionContext",
+    "GETH_EVM_CAPS",
+    "GasMeter",
+    "GasSchedule",
+    "MOVE_VM_CAPS",
+    "VMCapabilities",
+    "VM_FACTORIES",
+    "VirtualMachine",
+    "avm",
+    "ebpf_vm",
+    "geth_evm",
+    "move_vm",
+]

@@ -1,0 +1,58 @@
+"""The DIABLO workload suite: five realistic traces plus synthetic loads."""
+
+from repro.workloads.dota2 import dota_trace
+from repro.workloads.fifa import fifa_trace
+from repro.workloads.nasdaq import (
+    STOCK_PROFILES,
+    expected_peak_tps,
+    gafam_trace,
+    stock_trace,
+)
+from repro.workloads.synthetic import (
+    VISA_AVERAGE_TPS,
+    constant_transfer_trace,
+    deployment_challenge_trace,
+    robustness_trace,
+)
+from repro.workloads.traces import (
+    Trace,
+    burst_then_decay,
+    schedule_from_rates,
+    sinusoid,
+)
+from repro.workloads.uber import derived_world_tps, uber_trace
+from repro.workloads.youtube import derived_average_tps, youtube_trace
+
+
+def dapp_suite() -> dict:
+    """The five default DIABLO DApp workloads (Table 2), by name."""
+    return {
+        "exchange": gafam_trace(),
+        "gaming": dota_trace(),
+        "web": fifa_trace(),
+        "mobility": uber_trace(),
+        "video": youtube_trace(),
+    }
+
+
+__all__ = [
+    "STOCK_PROFILES",
+    "Trace",
+    "VISA_AVERAGE_TPS",
+    "burst_then_decay",
+    "constant_transfer_trace",
+    "dapp_suite",
+    "deployment_challenge_trace",
+    "derived_average_tps",
+    "derived_world_tps",
+    "dota_trace",
+    "expected_peak_tps",
+    "fifa_trace",
+    "gafam_trace",
+    "robustness_trace",
+    "schedule_from_rates",
+    "sinusoid",
+    "stock_trace",
+    "uber_trace",
+    "youtube_trace",
+]

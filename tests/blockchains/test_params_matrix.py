@@ -1,0 +1,101 @@
+"""Every chain's §5.2 parameter sheet, pinned against the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchains.registry import CHAIN_NAMES, chain_params
+from repro.crypto.signing import ECDSA, ED25519
+from repro.sim.deployment import CONSORTIUM, TESTNET
+
+
+@pytest.fixture(scope="module")
+def params():
+    return {name: chain_params(name, TESTNET) for name in CHAIN_NAMES}
+
+
+class TestSignatureSchemes:
+    def test_avalanche_uses_ecdsa_after_rsa_failure(self, params):
+        assert params["avalanche"].signature_scheme is ECDSA
+
+    def test_ed25519_chains(self, params):
+        # Solana "replaces the ECDSA signature scheme with EdDSA (ED25519)";
+        # Algorand and Diem are ed25519 designs as well
+        for chain in ("solana", "algorand", "diem"):
+            assert params[chain].signature_scheme is ED25519, chain
+
+    def test_geth_chains_use_ecdsa(self, params):
+        for chain in ("ethereum", "quorum"):
+            assert params[chain].signature_scheme is ECDSA, chain
+
+
+class TestFinalitySemantics:
+    def test_immediate_finality_chains(self, params):
+        # deterministic consensus (Diem, Quorum) and no-fork-whp (Algorand)
+        for chain in ("diem", "quorum", "algorand", "avalanche"):
+            assert params[chain].confirmation_depth == 0, chain
+
+    def test_forkable_chains_wait_confirmations(self, params):
+        assert params["solana"].confirmation_depth == 30
+        assert params["ethereum"].confirmation_depth >= 1
+
+
+class TestMempoolPolicies:
+    def test_never_drop_chains(self, params):
+        assert params["quorum"].mempool_policy.capacity is None
+        assert params["avalanche"].mempool_policy.capacity is None
+
+    def test_bounded_chains(self, params):
+        for chain in ("diem", "algorand", "solana"):
+            assert params[chain].mempool_policy.capacity is not None, chain
+
+    def test_only_diem_has_a_sender_quota(self, params):
+        for chain in CHAIN_NAMES:
+            quota = params[chain].mempool_policy.per_sender_quota
+            if chain == "diem":
+                assert quota == 100
+            else:
+                assert quota is None, chain
+
+    def test_only_solana_expires_transactions(self, params):
+        for chain in CHAIN_NAMES:
+            expiry = params[chain].tx_expiry
+            if chain == "solana":
+                assert expiry == 120.0
+            else:
+                assert expiry is None, chain
+
+
+class TestBlockBudgets:
+    def test_avalanche_gas_and_period(self, params):
+        from repro.blockchains.avalanche import BLOCK_GAS_LIMIT, BLOCK_PERIOD
+        assert params["avalanche"].block_gas_limit == BLOCK_GAS_LIMIT == 8_000_000
+        assert BLOCK_PERIOD == 1.9
+
+    def test_solana_intake_scales_with_hardware(self, params):
+        assert params["solana"].block_gas_per_vcpu is not None
+        assert params["solana"].block_gas_limit is None
+
+    def test_fixed_budget_chains(self, params):
+        assert params["ethereum"].block_gas_limit is not None
+        assert params["quorum"].block_tx_limit is not None
+        assert params["diem"].block_tx_limit is not None
+        assert params["algorand"].block_gas_limit is not None
+
+
+class TestDeploymentSensitivity:
+    def test_only_diem_params_vary_with_deployment(self):
+        for name in CHAIN_NAMES:
+            small = chain_params(name, TESTNET)
+            large = chain_params(name, CONSORTIUM)
+            if name == "diem":
+                assert small.account_limits != large.account_limits
+            else:
+                assert small.account_limits == large.account_limits, name
+
+    def test_commit_apis(self):
+        apis = {name: chain_params(name, TESTNET).commit_api
+                for name in CHAIN_NAMES}
+        assert apis["algorand"] == "poll"     # the DIABLO workaround
+        for chain in ("avalanche", "ethereum", "quorum", "solana", "diem"):
+            assert apis[chain] == "stream", chain

@@ -1,0 +1,210 @@
+"""Tests for accounts, blocks, state, ledger and receipts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.account import (
+    AccountFactoryLimits,
+    AccountRegistry,
+    DEFAULT_INITIAL_BALANCE,
+)
+from repro.chain.block import Block, GENESIS_PARENT, genesis_block
+from repro.chain.ledger import Ledger
+from repro.chain.receipt import Event, ExecStatus, Receipt
+from repro.chain.state import WorldState
+from repro.chain.transaction import transfer
+from repro.common.errors import (
+    ChainError,
+    DeploymentError,
+    UnknownAccountError,
+)
+
+
+class TestAccounts:
+    def test_create_funds_accounts(self):
+        registry = AccountRegistry()
+        accounts = registry.create(3)
+        assert len(registry) == 3
+        assert all(a.balance == DEFAULT_INITIAL_BALANCE for a in accounts)
+
+    def test_addresses_are_unique(self):
+        registry = AccountRegistry()
+        registry.create(50)
+        assert len(set(registry.addresses())) == 50
+
+    def test_sequence_numbers_increment(self):
+        registry = AccountRegistry()
+        (account,) = registry.create(1)
+        assert account.next_sequence() == 0
+        assert account.next_sequence() == 1
+
+    def test_diem_provisioning_limit(self):
+        # §5.2: "the provided setup tools would fail systematically after
+        # creating 130 accounts"
+        registry = AccountRegistry(limits=AccountFactoryLimits(max_accounts=130))
+        registry.create(130)
+        with pytest.raises(DeploymentError):
+            registry.create(1)
+
+    def test_create_up_to_caps_at_limit(self):
+        registry = AccountRegistry(limits=AccountFactoryLimits(max_accounts=130))
+        created = registry.create_up_to(2000)
+        assert len(created) == 130
+        assert registry.create_up_to(10) == []
+
+    def test_lookup(self):
+        registry = AccountRegistry()
+        (account,) = registry.create(1)
+        assert registry.get(account.address) is account
+        with pytest.raises(UnknownAccountError):
+            registry.get("ghost")
+
+
+class TestBlocks:
+    def test_genesis(self):
+        g = genesis_block()
+        assert g.height == 0
+        assert g.parent_hash == GENESIS_PARENT
+        assert len(g) == 0
+
+    def test_block_hash_changes_with_content(self):
+        a = Block(1, "p", "n", [transfer("a", "b")], timestamp=1.0)
+        b = Block(1, "p", "n", [transfer("a", "b")], timestamp=1.0)
+        assert a.block_hash != b.block_hash  # different tx uids
+
+    def test_block_size_includes_transactions(self):
+        txs = [transfer("a", "b") for _ in range(3)]
+        block = Block(1, "p", "n", txs)
+        assert block.size == 512 + sum(t.size for t in txs)
+
+
+class TestWorldState:
+    def test_credit_debit(self):
+        state = WorldState()
+        state.credit("a", 100)
+        assert state.balance("a") == 100
+        assert state.debit("a", 60)
+        assert state.balance("a") == 40
+
+    def test_debit_insufficient_fails(self):
+        state = WorldState()
+        state.credit("a", 10)
+        assert not state.debit("a", 11)
+        assert state.balance("a") == 10
+
+    def test_nonces(self):
+        state = WorldState()
+        assert state.nonce("a") == 0
+        state.bump_nonce("a")
+        assert state.nonce("a") == 1
+
+    def test_contract_storage_lifecycle(self):
+        state = WorldState()
+        storage = state.deploy_storage("c1")
+        storage.put("k", 42)
+        assert state.storage("c1").get("k") == 42
+        assert state.has_contract("c1")
+
+    def test_double_deploy_rejected(self):
+        state = WorldState()
+        state.deploy_storage("c1")
+        with pytest.raises(UnknownAccountError):
+            state.deploy_storage("c1")
+
+    def test_missing_contract_rejected(self):
+        with pytest.raises(UnknownAccountError):
+            WorldState().storage("ghost")
+
+
+class TestLedger:
+    def _block(self, ledger, txs=()):
+        return Block(
+            height=ledger.height + 1,
+            parent_hash=ledger.head.block_hash,
+            proposer="n",
+            transactions=list(txs))
+
+    def test_append_extends_head(self):
+        ledger = Ledger()
+        block = self._block(ledger)
+        ledger.append(block, decided_at=1.0)
+        assert ledger.head is block
+        assert ledger.height == 1
+
+    def test_append_wrong_height_rejected(self):
+        ledger = Ledger()
+        bad = Block(5, ledger.head.block_hash, "n")
+        with pytest.raises(ChainError):
+            ledger.append(bad, decided_at=1.0)
+
+    def test_append_wrong_parent_rejected(self):
+        ledger = Ledger()
+        bad = Block(1, "not-the-head", "n")
+        with pytest.raises(ChainError):
+            ledger.append(bad, decided_at=1.0)
+
+    def test_immediate_finality_without_confirmations(self):
+        ledger = Ledger(confirmation_depth=0)
+        block = self._block(ledger)
+        ledger.append(block, decided_at=2.0)
+        assert ledger.final_at(1) == 2.0
+
+    def test_confirmation_depth_delays_finality(self):
+        # Solana: wait 30 confirmations; here depth=2 for brevity
+        ledger = Ledger(confirmation_depth=2)
+        for t in (1.0, 2.0, 3.0):
+            ledger.append(self._block(ledger), decided_at=t)
+        assert ledger.final_at(1) == 3.0   # final when height 3 lands
+        assert ledger.final_at(2) is None
+        assert ledger.final_at(3) is None
+
+    def test_blocks_since_is_the_polling_query(self):
+        ledger = Ledger()
+        blocks = []
+        for t in (1.0, 2.0, 3.0):
+            block = self._block(ledger)
+            ledger.append(block, decided_at=t)
+            blocks.append(block)
+        assert list(ledger.blocks_since(1)) == blocks[1:]
+
+    def test_block_lookup_by_hash_and_height(self):
+        ledger = Ledger()
+        block = self._block(ledger, [transfer("a", "b")])
+        ledger.append(block, decided_at=1.0)
+        assert ledger.block_at(1) is block
+        assert ledger.block_by_hash(block.block_hash) is block
+        with pytest.raises(ChainError):
+            ledger.block_at(9)
+        with pytest.raises(ChainError):
+            ledger.block_by_hash("nope")
+
+    def test_recent_hash_age(self):
+        ledger = Ledger()
+        block = self._block(ledger)
+        ledger.append(block, decided_at=10.0)
+        assert ledger.recent_hash_age(block.block_hash, now=130.0) == 120.0
+
+    def test_transaction_counting(self):
+        ledger = Ledger()
+        ledger.append(self._block(ledger, [transfer("a", "b")] * 3),
+                      decided_at=1.0)
+        assert ledger.total_transactions() == 3
+        assert len(list(ledger.all_transactions())) == 3
+
+    def test_negative_confirmation_depth_rejected(self):
+        with pytest.raises(ChainError):
+            Ledger(confirmation_depth=-1)
+
+
+class TestReceipts:
+    def test_ok_property(self):
+        assert Receipt(1, ExecStatus.SUCCESS).ok
+        assert not Receipt(1, ExecStatus.BUDGET_EXCEEDED).ok
+
+    def test_describe(self):
+        receipt = Receipt(7, ExecStatus.REVERTED, gas_used=100,
+                          error="nope", events=[Event("C", "E")])
+        info = receipt.describe()
+        assert info["status"] == "reverted"
+        assert info["events"] == 1

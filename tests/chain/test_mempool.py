@@ -1,0 +1,159 @@
+"""Tests for the memory pool policies (§5.2 / §6.5 behaviours)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.mempool import Mempool, MempoolPolicy
+from repro.chain.transaction import transfer
+from repro.common.errors import MempoolFullError, SenderQuotaError
+
+
+def make_txs(n, sender="alice", gas_limit=21_000):
+    return [transfer(sender, "bob", gas_limit=gas_limit) for _ in range(n)]
+
+
+class TestAdmission:
+    def test_unbounded_pool_accepts_everything(self):
+        pool = Mempool()
+        for tx in make_txs(1000):
+            pool.add(tx)
+        assert len(pool) == 1000
+
+    def test_capacity_rejects_when_full(self):
+        pool = Mempool(MempoolPolicy(capacity=2))
+        a, b, c = make_txs(3)
+        pool.add(a)
+        pool.add(b)
+        with pytest.raises(MempoolFullError):
+            pool.add(c)
+        assert pool.rejected_full == 1
+
+    def test_evict_oldest_instead_of_rejecting(self):
+        pool = Mempool(MempoolPolicy(capacity=2, evict_oldest=True))
+        a, b, c = make_txs(3)
+        pool.add(a)
+        pool.add(b)
+        pool.add(c)
+        assert len(pool) == 2
+        assert a not in pool and c in pool
+        assert pool.evicted == 1
+
+    def test_per_sender_quota(self):
+        # Diem: "a maximum of 100 transactions from the same signer"
+        pool = Mempool(MempoolPolicy(per_sender_quota=100))
+        for tx in make_txs(100):
+            pool.add(tx)
+        with pytest.raises(SenderQuotaError):
+            pool.add(transfer("alice", "bob"))
+        pool.add(transfer("carol", "bob"))  # other senders unaffected
+        assert pool.rejected_quota == 1
+
+    def test_quota_frees_after_pop(self):
+        pool = Mempool(MempoolPolicy(per_sender_quota=2))
+        for tx in make_txs(2):
+            pool.add(tx)
+        pool.pop_batch(max_count=1)
+        pool.add(transfer("alice", "bob"))
+
+    def test_try_add_returns_bool(self):
+        pool = Mempool(MempoolPolicy(capacity=1))
+        assert pool.try_add(transfer("a", "b"))
+        assert not pool.try_add(transfer("a", "b"))
+
+    def test_contains(self):
+        pool = Mempool()
+        tx = transfer("a", "b")
+        pool.add(tx)
+        assert tx in pool
+
+
+class TestPopBatch:
+    def test_fifo_order(self):
+        pool = Mempool()
+        txs = make_txs(5)
+        for tx in txs:
+            pool.add(tx)
+        batch = pool.pop_batch(max_count=3)
+        assert batch == txs[:3]
+        assert len(pool) == 2
+
+    def test_fee_ordered_pops_highest_fee_first(self):
+        pool = Mempool(MempoolPolicy(fee_ordered=True))
+        low = transfer("a", "b", fee_per_gas=1)
+        high = transfer("a", "b", fee_per_gas=10)
+        pool.add(low)
+        pool.add(high)
+        assert pool.pop_batch(max_count=1) == [high]
+
+    def test_gas_cap_limits_batch(self):
+        pool = Mempool()
+        for tx in make_txs(10, gas_limit=21_000):
+            pool.add(tx)
+        batch = pool.pop_batch(max_gas=63_000)
+        assert len(batch) == 3
+
+    def test_single_oversized_tx_still_fits_alone(self):
+        # block production must not deadlock on a tx above the gas cap
+        pool = Mempool()
+        pool.add(transfer("a", "b", gas_limit=10_000_000))
+        batch = pool.pop_batch(max_gas=1_000_000)
+        assert len(batch) == 1
+
+    def test_bytes_cap_limits_batch(self):
+        pool = Mempool()
+        for tx in make_txs(10):
+            pool.add(tx)
+        size = make_txs(1)[0].size
+        batch = pool.pop_batch(max_bytes=3 * size)
+        assert len(batch) == 3
+
+    def test_oversized_by_bytes_still_fits_alone(self):
+        pool = Mempool()
+        pool.add(transfer("a", "b", extra_size=10_000))
+        assert len(pool.pop_batch(max_bytes=100)) == 1
+
+    def test_unlimited_pop_drains_pool(self):
+        pool = Mempool()
+        for tx in make_txs(7):
+            pool.add(tx)
+        assert len(pool.pop_batch()) == 7
+        assert len(pool) == 0
+
+
+class TestRemoveAndExpiry:
+    def test_remove_specific_tx(self):
+        pool = Mempool()
+        tx = transfer("a", "b")
+        pool.add(tx)
+        assert pool.remove(tx)
+        assert not pool.remove(tx)
+        assert len(pool) == 0
+
+    def test_drop_expired(self):
+        # Solana's 120-second recent-block-hash rule (§5.2)
+        pool = Mempool()
+        old = transfer("a", "b")
+        old.submitted_at = 0.0
+        fresh = transfer("a", "b")
+        fresh.submitted_at = 100.0
+        pool.add(old)
+        pool.add(fresh)
+        expired = pool.drop_expired(now=130.0, max_age=120.0)
+        assert expired == [old]
+        assert fresh in pool
+
+    def test_drop_expired_ignores_unsubmitted(self):
+        pool = Mempool()
+        tx = transfer("a", "b")  # submitted_at None
+        pool.add(tx)
+        assert pool.drop_expired(now=1e9, max_age=1.0) == []
+
+    def test_pending_for_tracks_senders(self):
+        pool = Mempool()
+        pool.add(transfer("a", "b"))
+        pool.add(transfer("a", "b"))
+        pool.add(transfer("c", "b"))
+        assert pool.pending_for("a") == 2
+        assert pool.pending_for("c") == 1
+        assert pool.pending_for("nobody") == 0

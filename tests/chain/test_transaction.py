@@ -1,0 +1,94 @@
+"""Tests for transactions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.transaction import (
+    INVOKE_BASE_SIZE,
+    TRANSFER_SIZE,
+    Transaction,
+    TxKind,
+    invoke,
+    transfer,
+)
+
+
+class TestConstruction:
+    def test_transfer_builder(self):
+        tx = transfer("alice", "bob", amount=5, sequence=3)
+        assert tx.kind is TxKind.TRANSFER
+        assert tx.sender == "alice"
+        assert tx.recipient == "bob"
+        assert tx.amount == 5
+        assert tx.sequence == 3
+
+    def test_invoke_builder(self):
+        tx = invoke("alice", "Counter", "add", (1, 2))
+        assert tx.kind is TxKind.INVOKE
+        assert tx.contract == "Counter"
+        assert tx.function == "add"
+        assert tx.args == (1, 2)
+        assert tx.is_invoke
+
+    def test_uids_are_unique(self):
+        a, b = transfer("x", "y"), transfer("x", "y")
+        assert a.uid != b.uid
+
+    def test_equality_is_by_uid(self):
+        a = transfer("x", "y")
+        assert a == a
+        assert a != transfer("x", "y")
+        assert hash(a) == a.uid
+
+
+class TestSizing:
+    def test_transfer_size(self):
+        assert transfer("a", "b").size == TRANSFER_SIZE
+
+    def test_invoke_size_grows_with_args(self):
+        no_args = invoke("a", "C", "f")
+        two_args = invoke("a", "C", "f", (1, 2))
+        assert two_args.size == no_args.size + 64
+        assert no_args.size == INVOKE_BASE_SIZE
+
+    def test_extra_size_applies(self):
+        tx = transfer("a", "b", extra_size=100)
+        assert tx.size == TRANSFER_SIZE + 100
+
+
+class TestHashing:
+    def test_tx_hash_deterministic_per_tx(self):
+        tx = transfer("a", "b")
+        assert tx.tx_hash == tx.tx_hash
+
+    def test_tx_hash_unique_across_txs(self):
+        assert transfer("a", "b").tx_hash != transfer("a", "b").tx_hash
+
+    def test_signing_payload_covers_fee(self):
+        a = invoke("a", "C", "f", sequence=1)
+        b = invoke("a", "C", "f", sequence=1)
+        b.fee_per_gas = 99
+        assert a.signing_payload() != b.signing_payload()
+
+    def test_signing_payload_excludes_benchmark_fields(self):
+        tx = transfer("a", "b")
+        before = tx.signing_payload()
+        tx.submitted_at = 1.0
+        tx.committed_at = 2.0
+        assert tx.signing_payload() == before
+
+
+class TestBookkeeping:
+    def test_fresh_tx_is_unsubmitted(self):
+        tx = transfer("a", "b")
+        assert tx.submitted_at is None
+        assert tx.committed_at is None
+        assert not tx.aborted
+
+    def test_describe_contains_key_fields(self):
+        tx = invoke("a", "C", "f")
+        info = tx.describe()
+        assert info["kind"] == "invoke"
+        assert info["contract"] == "C"
+        assert info["uid"] == tx.uid

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchains.base import ExperimentScale
+from repro.sim.engine import Engine
+from repro.sim.network import Endpoint, Network
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def network(engine: Engine) -> Network:
+    return Network(engine)
+
+
+@pytest.fixture
+def ohio() -> Endpoint:
+    return Endpoint("node-ohio", "ohio")
+
+
+@pytest.fixture
+def tokyo() -> Endpoint:
+    return Endpoint("node-tokyo", "tokyo")
+
+
+@pytest.fixture
+def small_scale() -> ExperimentScale:
+    """A small scale factor for fast end-to-end tests."""
+    return ExperimentScale(0.05)

@@ -1,0 +1,108 @@
+"""Cross-validation: analytic models vs message-level protocols.
+
+The analytic models (consensus/models.py) drive the 200-node benchmark
+runs; these tests check that, at small scale where both fidelity levels are
+affordable, the analytic latency predictions sit in the same regime as the
+message-level protocol executions — same order of magnitude, same ordering
+between local and geo-distributed placements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.base import ConsensusHarness
+from repro.consensus.hotstuff import HotStuffReplica
+from repro.consensus.ibft import IBFTReplica
+from repro.consensus.models import (
+    BlockAttempt,
+    CommitteePerf,
+    LeaderBFTPerf,
+    WanProfile,
+)
+
+
+def message_level_round_time(replicas, regions, until, seed=1):
+    """Average committed-heights-per-second from a protocol execution."""
+    harness = ConsensusHarness(replicas, regions=regions, seed=seed)
+    for i in range(50):
+        harness.submit(f"tx-{i}")
+    harness.run(until=until)
+    heights = max((d.height for d in harness.decisions), default=0)
+    return until / max(1, heights)  # seconds per committed height
+
+
+def analytic_round_time(model_factory, regions, n):
+    placement = [regions[i % len(regions)] for i in range(n)]
+    profile = WanProfile(placement)
+    model = model_factory(profile)
+    attempt = BlockAttempt(tx_count=1, payload_bytes=600,
+                           exec_cpu_seconds=0.0, backlog=0,
+                           leader_region=placement[0])
+    outcome = model.decide(attempt)
+    return model.next_block_delay(outcome.latency)
+
+
+class TestLeaderBFTCalibration:
+    def test_ibft_geo_rounds_within_3x_of_message_level(self):
+        regions = ("ohio", "tokyo", "milan", "sydney")
+        measured = message_level_round_time(
+            [IBFTReplica() for _ in range(4)], regions, until=60.0)
+        predicted = analytic_round_time(
+            lambda p: LeaderBFTPerf(p, phases=2, base_overhead=0.0,
+                                    min_block_interval=0.0),
+            regions, 4)
+        assert predicted == pytest.approx(measured, rel=2.0)
+
+    def test_hotstuff_geo_vs_local_ordering(self):
+        local = message_level_round_time(
+            [HotStuffReplica() for _ in range(4)], ("ohio",), until=5.0)
+        geo = message_level_round_time(
+            [HotStuffReplica() for _ in range(4)],
+            ("ohio", "tokyo", "milan", "sydney"), until=60.0)
+        assert geo > 20 * local  # WAN rounds are orders slower
+        # the analytic model predicts the same ordering
+        predicted_local = analytic_round_time(
+            lambda p: LeaderBFTPerf(p, phases=3, base_overhead=0.0,
+                                    min_block_interval=0.0,
+                                    pipeline_depth=3.0),
+            ("ohio",), 4)
+        predicted_geo = analytic_round_time(
+            lambda p: LeaderBFTPerf(p, phases=3, base_overhead=0.0,
+                                    min_block_interval=0.0,
+                                    pipeline_depth=3.0),
+            ("ohio", "tokyo", "milan", "sydney"), 4)
+        assert predicted_geo > 20 * predicted_local
+
+    def test_rtt_dominates_both_levels(self):
+        # doubling the worst-pair RTT (by placement) slows both
+        near = ("milan", "stockholm")     # 30 ms
+        far = ("sydney", "cape-town")     # 410 ms
+        measured_near = message_level_round_time(
+            [IBFTReplica() for _ in range(4)], near, until=30.0)
+        measured_far = message_level_round_time(
+            [IBFTReplica() for _ in range(4)], far, until=60.0)
+        assert measured_far > 2 * measured_near
+        predicted_near = analytic_round_time(
+            lambda p: LeaderBFTPerf(p, phases=2, base_overhead=0.0,
+                                    min_block_interval=0.0), near, 4)
+        predicted_far = analytic_round_time(
+            lambda p: LeaderBFTPerf(p, phases=2, base_overhead=0.0,
+                                    min_block_interval=0.0), far, 4)
+        assert predicted_far > 2 * predicted_near
+
+
+class TestCommitteeCalibration:
+    def test_algorand_round_floor_dominates_at_small_scale(self):
+        # BA* rounds take seconds even locally (proposal window + steps) —
+        # in both the message-level protocol and the analytic model
+        from repro.consensus.algorand import AlgorandReplica
+        measured = message_level_round_time(
+            [AlgorandReplica(committee_size=5, proposer_count=3)
+             for _ in range(7)], ("ohio", "milan"), until=40.0)
+        predicted = analytic_round_time(
+            lambda p: CommitteePerf(p, min_round=3.6),
+            ("ohio", "milan"), 7)
+        assert measured > 1.0
+        assert predicted > 1.0
+        assert predicted == pytest.approx(measured, rel=3.0)

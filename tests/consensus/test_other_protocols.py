@@ -1,0 +1,177 @@
+"""Message-level tests for Clique, Algorand BA*, Snowball and Tower BFT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.algorand import AlgorandReplica, sortition
+from repro.consensus.avalanche import SnowballReplica
+from repro.consensus.base import ConsensusHarness
+from repro.consensus.clique import CliqueReplica
+from repro.consensus.towerbft import TowerReplica
+
+
+class TestClique:
+    def run(self, n=4, period=1.0, confirmations=2, until=25.0,
+            regions=("ohio",), seed=3):
+        harness = ConsensusHarness(
+            [CliqueReplica(period=period, confirmations=confirmations,
+                           seed=seed + i) for i, _ in enumerate(range(n))],
+            regions=regions, seed=seed)
+        for i in range(12):
+            harness.submit(f"tx-{i}")
+        harness.run(until=until)
+        return harness
+
+    def test_agreement(self):
+        harness = self.run()
+        harness.check_agreement()
+
+    def test_block_cadence_respects_period(self):
+        # §5.2: "This version still requires a minimum period between
+        # consecutive blocks"
+        harness = self.run(period=2.0, until=21.0)
+        heights = {d.height for d in harness.decisions}
+        # ~21s of virtual time, 2s period, 2 confirmations held back
+        assert max(heights) <= 21 / 2.0
+        assert max(heights) >= 4
+
+    def test_confirmation_depth_holds_back_head(self):
+        harness = self.run(period=1.0, confirmations=4, until=12.0)
+        # the newest 4 blocks are not reported committed
+        committed = max(d.height for d in harness.decisions)
+        best_head = max(r.head.height for r in harness.replicas)
+        assert best_head - committed >= 4
+
+    def test_geo_distribution_still_agrees(self):
+        harness = self.run(regions=("ohio", "tokyo", "sao-paulo"), until=30.0)
+        harness.check_agreement()
+
+    def test_sealers_rotate(self):
+        harness = self.run(until=30.0)
+        replica = harness.replicas[0]
+        sealers = {b.sealer for b in replica.blocks.values() if b.height > 0}
+        assert len(sealers) >= 2
+
+
+class TestAlgorandBAStar:
+    def run(self, n=7, until=25.0, regions=("ohio", "milan"), seed=4,
+            committee=5.0, proposers=3.0):
+        harness = ConsensusHarness(
+            [AlgorandReplica(committee_size=committee,
+                             proposer_count=proposers) for _ in range(n)],
+            regions=regions, seed=seed)
+        for i in range(10):
+            harness.submit(f"tx-{i}")
+        harness.run(until=until)
+        return harness
+
+    def test_agreement(self):
+        harness = self.run()
+        harness.check_agreement()
+
+    def test_progress_across_rounds(self):
+        harness = self.run()
+        rounds = {d.height for d in harness.decisions}
+        assert len(rounds) >= 3
+
+    def test_immediate_finality_no_forks(self):
+        # "It does not fork with high probability" — one value per round
+        harness = self.run()
+        by_round = {}
+        for decision in harness.decisions:
+            by_round.setdefault(decision.height, set()).add(decision.value)
+        assert all(len(values) == 1 for values in by_round.values())
+
+    def test_sortition_is_deterministic(self):
+        assert sortition(1, "soft", 3, 10, 5.0) == sortition(1, "soft", 3, 10, 5.0)
+
+    def test_sortition_selection_rate_tracks_expectation(self):
+        n, expected = 200, 20.0
+        selected = sum(1 for node in range(n)
+                       if sortition(7, "soft", node, n, expected)[0])
+        assert 5 <= selected <= 50  # ~20 expected, generous bounds
+
+    def test_sortition_differs_per_step(self):
+        rounds = range(50)
+        a = [sortition(r, "soft", 0, 10, 5.0)[0] for r in rounds]
+        b = [sortition(r, "cert", 0, 10, 5.0)[0] for r in rounds]
+        assert a != b
+
+
+class TestSnowball:
+    def run(self, n=8, split=True, until=30.0, seed=5, k=3, alpha=2, beta=5):
+        replicas = []
+        for i in range(n):
+            preference = ("A" if i % 2 else "B") if split else "A"
+            replicas.append(SnowballReplica(
+                k=k, alpha=alpha, beta=beta,
+                initial_preference=preference, seed=seed + i))
+        harness = ConsensusHarness(replicas, regions=("ohio",), seed=seed)
+        harness.run(until=until)
+        return harness
+
+    def test_metastability_converges_from_split(self):
+        # the defining property: a 50/50 split still collapses to one value
+        harness = self.run()
+        values = {d.value for d in harness.decisions}
+        assert len(values) == 1
+        assert len(harness.decisions) == 8  # everyone finalised
+
+    def test_unanimous_start_finalizes_fast(self):
+        harness = self.run(split=False, until=10.0)
+        assert {d.value for d in harness.decisions} == {"A"}
+
+    def test_beta_consecutive_polls_required(self):
+        harness = self.run(split=False, until=10.0)
+        replica = harness.replicas[0]
+        assert replica.consecutive >= replica.beta
+
+    def test_polls_are_sampled_not_broadcast(self):
+        harness = self.run(split=False, until=10.0)
+        replica = harness.replicas[0]
+        # k=3 sampled peers per poll — far fewer messages than n per round
+        assert replica.polls_sent >= replica.beta * 3
+
+    def test_determinism_per_seed(self):
+        a = self.run(seed=11)
+        b = self.run(seed=11)
+        assert [d.value for d in a.decisions] == [d.value for d in b.decisions]
+
+
+class TestTowerBFT:
+    def run(self, n=4, until=15.0, regions=("ohio",), seed=6, root_depth=4):
+        harness = ConsensusHarness(
+            [TowerReplica(root_depth=root_depth) for _ in range(n)],
+            regions=regions, seed=seed)
+        for i in range(10):
+            harness.submit(f"tx-{i}")
+        harness.run(until=until)
+        return harness
+
+    def test_agreement(self):
+        harness = self.run()
+        harness.check_agreement()
+
+    def test_slots_fire_on_the_poh_clock(self):
+        # a block every 400 ms regardless of votes
+        harness = self.run(until=8.0)
+        max_slot = max(r.current_slot for r in harness.replicas)
+        assert max_slot == int(8.0 / 0.4) - 1 or max_slot == int(8.0 / 0.4)
+
+    def test_rooting_lags_head_by_depth(self):
+        harness = self.run(until=12.0)
+        committed = max(d.height for d in harness.decisions)
+        head_slot = max(r.current_slot for r in harness.replicas)
+        assert head_slot - committed >= 4
+
+    def test_leaders_rotate_by_slot(self):
+        harness = self.run(until=6.0)
+        replica = harness.replicas[0]
+        leaders = {b.leader for b in replica.blocks.values() if b.slot > 0}
+        assert len(leaders) >= 3
+
+    def test_tower_votes_strictly_increase(self):
+        harness = self.run()
+        for replica in harness.replicas:
+            assert replica.tower == sorted(set(replica.tower))

@@ -1,0 +1,189 @@
+"""Tests for Raft and for crash-fault injection across protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.base import ConsensusHarness
+from repro.consensus.hotstuff import HotStuffReplica
+from repro.consensus.ibft import IBFTReplica
+from repro.consensus.raft import RaftReplica
+
+
+def raft_harness(n=5, regions=("ohio",), seed=7):
+    return ConsensusHarness(
+        [RaftReplica(seed=seed + i) for i in range(n)],
+        regions=regions, seed=seed)
+
+
+def elect_and_get_leader(harness, until=10.0):
+    harness.run(until=until)
+    leaders = [r for r in harness.replicas
+               if r.role == "leader" and r.node_id not in harness.crashed]
+    assert leaders, "no leader elected"
+    # highest term wins
+    return max(leaders, key=lambda r: r.term)
+
+
+class TestRaftElection:
+    def test_exactly_one_leader_per_term(self):
+        harness = raft_harness()
+        harness.run(until=15.0)
+        by_term = {}
+        for replica in harness.replicas:
+            if replica.role == "leader":
+                by_term.setdefault(replica.term, []).append(replica.node_id)
+        for term, leaders in by_term.items():
+            assert len(leaders) == 1, f"split brain in term {term}"
+
+    def test_leader_emerges(self):
+        harness = raft_harness()
+        leader = elect_and_get_leader(harness)
+        assert leader.role == "leader"
+
+    def test_followers_adopt_leader_term(self):
+        harness = raft_harness()
+        leader = elect_and_get_leader(harness)
+        harness.engine.run(until=harness.engine.now + 3.0)
+        for replica in harness.replicas:
+            assert replica.term == leader.term
+
+
+class TestRaftReplication:
+    def test_committed_values_reach_everyone(self):
+        harness = raft_harness()
+        leader = elect_and_get_leader(harness)
+        for i in range(5):
+            assert leader.propose(f"v{i}")
+        harness.engine.run(until=harness.engine.now + 5.0)
+        harness.check_agreement()
+        for replica in harness.replicas:
+            assert replica.commit_index == 5
+            assert [e.value for e in replica.log[:5]] == [
+                f"v{i}" for i in range(5)]
+
+    def test_follower_rejects_proposals(self):
+        harness = raft_harness()
+        leader = elect_and_get_leader(harness)
+        follower = next(r for r in harness.replicas
+                        if r.node_id != leader.node_id)
+        assert not follower.propose("nope")
+
+    def test_commit_order_is_proposal_order(self):
+        harness = raft_harness()
+        leader = elect_and_get_leader(harness)
+        for i in range(8):
+            leader.propose(f"v{i}")
+        harness.engine.run(until=harness.engine.now + 5.0)
+        chain = harness.committed_chain(leader.node_id)
+        assert [v for _, v in chain] == [f"v{i}" for i in range(8)]
+
+    def test_survives_leader_crash(self):
+        harness = raft_harness()
+        leader = elect_and_get_leader(harness)
+        leader.propose("before-crash")
+        harness.engine.run(until=harness.engine.now + 3.0)
+        harness.crash(leader.node_id)
+        new_leader = elect_and_get_leader(harness,
+                                          until=harness.engine.now + 20.0)
+        assert new_leader.node_id != leader.node_id
+        assert new_leader.propose("after-crash")
+        harness.engine.run(until=harness.engine.now + 5.0)
+        harness.check_agreement()
+        survivors = [r for r in harness.replicas
+                     if r.node_id not in harness.crashed]
+        assert all("after-crash" in [e.value for e in r.log]
+                   for r in survivors)
+
+
+class TestCrashFaultInjection:
+    def test_hotstuff_survives_f_crashes(self):
+        harness = ConsensusHarness(
+            [HotStuffReplica() for _ in range(4)],
+            regions=("ohio", "tokyo"), seed=8)
+        for i in range(10):
+            harness.submit(f"tx-{i}")
+        harness.run(until=2.0)
+        before = len([d for d in harness.decisions if d.node != 0])
+        harness.crash(0)  # f = 1 for n = 4
+        harness.engine.run(until=30.0)
+        harness.check_agreement()
+        after = len([d for d in harness.decisions if d.node != 0])
+        assert after > before  # progress continues without node 0
+
+    def test_hotstuff_halts_beyond_f_crashes(self):
+        harness = ConsensusHarness(
+            [HotStuffReplica() for _ in range(4)],
+            regions=("ohio",), seed=9)
+        harness.run(until=0.5)
+        harness.crash(0)
+        harness.crash(1)  # 2 > f = 1: no quorum of 3 among 2 survivors
+        marker = len(harness.decisions)
+        harness.engine.run(until=30.0)
+        live = [d for d in harness.decisions[marker:]
+                if d.node not in harness.crashed]
+        # allow in-flight decisions from the pre-crash pipeline
+        assert len(live) <= 6
+
+    def test_ibft_rotates_past_a_crashed_proposer(self):
+        harness = ConsensusHarness(
+            [IBFTReplica(base_timeout=1.0) for _ in range(4)],
+            regions=("ohio",), seed=10)
+        for i in range(10):
+            harness.submit(f"tx-{i}")
+        harness.run(until=0.5)
+        # crash whoever proposes next
+        survivor = harness.replicas[3]
+        next_height = survivor.height
+        proposer = survivor.proposer_of(next_height + 1, 0)
+        harness.crash(proposer)
+        harness.engine.run(until=40.0)
+        harness.check_agreement()
+        heights_after = [d.height for d in harness.decisions
+                         if d.node not in harness.crashed]
+        assert max(heights_after) > next_height
+
+    def test_crashed_nodes_stay_silent(self):
+        harness = raft_harness()
+        leader = elect_and_get_leader(harness)
+        harness.crash(leader.node_id)
+        routed_before = harness.messages_routed
+        harness.engine.run(until=harness.engine.now + 5.0)
+        # messages are still *attempted* but none are delivered to/from it;
+        # no decision is recorded by the crashed node after the crash
+        crash_decisions = [d for d in harness.decisions
+                           if d.node == leader.node_id
+                           and d.time > harness.engine.now - 5.0]
+        assert not crash_decisions
+
+
+class TestRaftVsIBFTLatency:
+    def test_raft_commits_faster_over_wan(self):
+        """Why Quorum offers Raft at all: one majority round trip vs IBFT's
+        two all-to-all phases. The paper runs IBFT anyway because Raft
+        'only tolerates crash failures' (§5.2)."""
+        regions = ("ohio", "tokyo", "milan", "sydney", "oregon")
+
+        raft = raft_harness(n=5, regions=regions)
+        leader = elect_and_get_leader(raft, until=20.0)
+        start = raft.engine.now
+        leader.propose("probe")
+        raft.engine.run(until=start + 30.0)
+        raft_latency = min(
+            (d.time - start for d in raft.decisions
+             if d.value == "probe"), default=None)
+        assert raft_latency is not None
+
+        ibft = ConsensusHarness(
+            [IBFTReplica() for _ in range(5)], regions=regions, seed=11)
+        ibft.submit("probe")
+        ibft.run(until=30.0)
+        probe = [d for d in ibft.decisions if d.value == "probe"]
+        assert probe
+        ibft_latency = min(d.time for d in probe)
+
+        # Raft: leader -> majority -> leader (about one WAN round trip).
+        # IBFT: dissemination + PREPARE + COMMIT. Raft never needs to be
+        # slower; depending on who leads, the two can come close.
+        assert raft_latency < 0.6
+        assert raft_latency <= ibft_latency * 1.25

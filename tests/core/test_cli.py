@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_chains_lists_six(self, capsys):
+        assert main(["chains"]) == 0
+        out = capsys.readouterr().out
+        for chain in ("algorand", "avalanche", "diem", "ethereum",
+                      "quorum", "solana"):
+            assert chain in out
+
+    def test_workloads_lists_suite(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dapp-exchange", "nasdaq-apple", "native-1000"):
+            assert name in out
+
+    def test_suite_run_prints_summary(self, capsys):
+        assert main(["suite", "--chain", "quorum",
+                     "--configuration", "testnet",
+                     "--workload", "nasdaq-google",
+                     "--scale", "0.1", "--accounts", "50"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["chain"] == "quorum"
+        assert summary["submitted"] > 0
+
+    def test_run_yaml_and_csv_roundtrip(self, tmp_path, capsys):
+        workload = tmp_path / "w.yaml"
+        workload.write_text("""
+workloads:
+  - number: 1
+    client:
+      location: { sample: !location [ ".*" ] }
+      view: { sample: !endpoint [ ".*" ] }
+      behavior:
+        - interaction: !transfer
+            from: { sample: !account { number: 10 } }
+          load: { 0: 50, 5: 0 }
+""")
+        output = tmp_path / "results.json"
+        assert main(["run", "--chain", "solana",
+                     "--configuration", "testnet",
+                     "--scale", "0.2",
+                     "--output", str(output), "--stat",
+                     str(workload)]) == 0
+        assert output.exists()
+        capsys.readouterr()
+        assert main(["csv", str(output)]) == 0
+        csv_text = capsys.readouterr().out
+        assert csv_text.startswith("submitted_at,latency_s,committed")
+        assert len(csv_text.splitlines()) > 10
+
+    def test_unknown_chain_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["suite", "--chain", "bitcoin", "--workload", "native-1000"])
+
+
+class TestCompression:
+    def test_compressed_output_roundtrips(self, tmp_path, capsys):
+        output = tmp_path / "results.json"
+        assert main(["suite", "--chain", "quorum",
+                     "--configuration", "testnet",
+                     "--workload", "nasdaq-google",
+                     "--scale", "0.1", "--accounts", "50",
+                     "--output", str(output), "--compress"]) == 0
+        gz = tmp_path / "results.json.gz"
+        assert gz.exists()
+        capsys.readouterr()
+        assert main(["csv", str(gz)]) == 0
+        assert "submitted_at" in capsys.readouterr().out
+
+
+class TestFractionWithin:
+    def test_fraction_within_matches_fig6_statistic(self):
+        from repro.core.results import BenchmarkResult, TransactionRecord
+        result = BenchmarkResult("q", "t", "w", 10.0, 1.0)
+        for i in range(10):
+            result.records.append(TransactionRecord(
+                uid=i, kind="transfer", contract=None, function=None,
+                client="c", submitted_at=0.0,
+                committed_at=float(i + 1) if i < 8 else None,
+                aborted=i >= 8, abort_reason=None))
+        assert result.fraction_within(4.0) == 0.4
+        assert result.fraction_within(100.0) == 0.8
+        assert result.fraction_within(0.0) == 0.0

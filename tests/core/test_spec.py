@@ -1,0 +1,197 @@
+"""Tests for the workload specification language (§4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SpecError
+from repro.core.spec import (
+    AccountSample,
+    Behavior,
+    ContractSample,
+    EndpointSample,
+    InvokeSpec,
+    LoadSchedule,
+    LocationSample,
+    TransferSpec,
+    WorkloadGroup,
+    WorkloadSpec,
+    load_spec,
+    parse_function_call,
+    simple_spec,
+)
+
+PAPER_EXAMPLE = """
+let:
+  - &loc { sample: !location [ "us-east-2" ] }
+  - &end { sample: !endpoint [ ".*" ] }
+  - &acc { sample: !account { number: 2000 } }
+  - &dapp { sample: !contract { name: "dota" } }
+workloads:
+  - number: 3
+    client:
+      location: *loc
+      view: *end
+      behavior:
+        - interaction: !invoke
+            from: *acc
+            contract: *dapp
+            function: "update(1, 1)"
+          load:
+            0: 4432
+            50: 4438
+            120: 0
+"""
+
+
+class TestPaperExample:
+    """The exact configuration file printed in §4."""
+
+    def test_parses(self):
+        spec = load_spec(PAPER_EXAMPLE)
+        assert len(spec.workloads) == 1
+
+    def test_three_clients(self):
+        spec = load_spec(PAPER_EXAMPLE)
+        assert spec.workloads[0].number == 3
+
+    def test_account_population(self):
+        spec = load_spec(PAPER_EXAMPLE)
+        assert spec.account_population() == 2000
+
+    def test_dapp_and_function(self):
+        spec = load_spec(PAPER_EXAMPLE)
+        interaction = spec.workloads[0].client.behaviors[0].interaction
+        assert isinstance(interaction, InvokeSpec)
+        assert interaction.contract.name == "dota"
+        assert interaction.function == "update"
+        assert interaction.args == (1, 1)
+
+    def test_load_schedule(self):
+        spec = load_spec(PAPER_EXAMPLE)
+        load = spec.workloads[0].client.behaviors[0].load
+        assert load.rate_at(10) == 4432
+        assert load.rate_at(60) == 4438
+        assert load.rate_at(130) == 0
+        assert load.duration == 120
+
+    def test_location_and_view_samples(self):
+        spec = load_spec(PAPER_EXAMPLE)
+        client = spec.workloads[0].client
+        assert client.location.matches("us-east-2")
+        assert not client.location.matches("ohio")
+        assert client.view.matches("any-endpoint-at-all")
+
+    def test_contracts_used(self):
+        assert load_spec(PAPER_EXAMPLE).contracts_used() == ["dota"]
+
+    def test_offered_load(self):
+        spec = load_spec(PAPER_EXAMPLE)
+        total = 3 * (4432 * 50 + 4438 * 70)
+        assert spec.offered_load() == pytest.approx(total / 120)
+
+
+class TestFunctionCallParsing:
+    def test_no_args(self):
+        assert parse_function_call("add") == ("add", ())
+        assert parse_function_call("add()") == ("add", ())
+
+    def test_int_args(self):
+        assert parse_function_call("update(1, 2)") == ("update", (1, 2))
+
+    def test_string_args(self):
+        name, args = parse_function_call('upload("vid")')
+        assert name == "upload"
+        assert args == ("vid",)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SpecError):
+            parse_function_call("???")
+
+
+class TestLoadSchedule:
+    def test_constant(self):
+        load = LoadSchedule.constant(100, 60)
+        assert load.rate_at(0) == 100
+        assert load.rate_at(59.9) == 100
+        assert load.rate_at(60) == 0
+        assert load.duration == 60
+
+    def test_total_transactions(self):
+        load = LoadSchedule.constant(100, 60)
+        assert load.total_transactions() == 6000
+
+    def test_from_mapping_sorts(self):
+        load = LoadSchedule.from_mapping({50: 10, 0: 20, 120: 0})
+        assert load.points[0] == (0, 20)
+
+    def test_scaled(self):
+        load = LoadSchedule.constant(100, 60).scaled(0.5)
+        assert load.rate_at(0) == 50
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SpecError):
+            LoadSchedule(((0.0, -1.0),))
+
+    def test_unsorted_points_rejected(self):
+        with pytest.raises(SpecError):
+            LoadSchedule(((10.0, 1.0), (0.0, 2.0)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecError):
+            LoadSchedule(())
+
+    def test_rate_before_start_is_zero(self):
+        assert LoadSchedule.constant(5, 10).rate_at(-1) == 0
+
+
+class TestValidation:
+    def test_transfer_interaction(self):
+        text = """
+workloads:
+  - number: 1
+    client:
+      location: { sample: !location [ ".*" ] }
+      view: { sample: !endpoint [ ".*" ] }
+      behavior:
+        - interaction: !transfer
+            from: { sample: !account { number: 10 } }
+            amount: 5
+          load: { 0: 10, 10: 0 }
+"""
+        spec = load_spec(text)
+        interaction = spec.workloads[0].client.behaviors[0].interaction
+        assert isinstance(interaction, TransferSpec)
+        assert interaction.amount == 5
+
+    def test_missing_workloads_rejected(self):
+        with pytest.raises(SpecError):
+            load_spec("let: []")
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(SpecError):
+            load_spec("")
+
+    def test_zero_accounts_rejected(self):
+        with pytest.raises(SpecError):
+            AccountSample(0)
+
+    def test_zero_clients_rejected(self):
+        with pytest.raises(SpecError):
+            WorkloadGroup(0, None)
+
+    def test_spec_needs_a_workload(self):
+        with pytest.raises(SpecError):
+            WorkloadSpec(())
+
+    def test_simple_spec_helper(self):
+        spec = simple_spec(TransferSpec(AccountSample(5)),
+                           LoadSchedule.constant(10, 5), clients=2)
+        assert spec.workloads[0].number == 2
+        assert spec.duration == 5
+        assert spec.account_population() == 5
+
+    def test_endpoint_sample_regex(self):
+        sample = EndpointSample(("quorum-node-.*",))
+        assert sample.matches("quorum-node-3")
+        assert not sample.matches("diem-node-3")

@@ -1,0 +1,44 @@
+"""The shipped examples must stay runnable against the public API."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_all_examples_exist(self):
+        names = {p.stem for p in EXAMPLES.glob("*.py")}
+        assert {"quickstart", "exchange_nasdaq", "mobility_uber",
+                "robustness_dos", "custom_blockchain"} <= names
+
+    def test_examples_import_cleanly(self):
+        for name in ("quickstart", "exchange_nasdaq", "mobility_uber",
+                     "robustness_dos", "custom_blockchain"):
+            module = load_example(name)
+            assert hasattr(module, "main")
+
+    def test_custom_blockchain_runs_end_to_end(self):
+        module = load_example("custom_blockchain")
+        result = module.run_redwood(rate=200.0, configuration="testnet",
+                                    scale=0.1)
+        assert result.chain == "redwood"
+        assert result.commit_ratio > 0.9
+
+    def test_custom_chain_characteristics(self):
+        module = load_example("custom_blockchain")
+        params = module.redwood_params()
+        assert params.vm_name == "geth-evm"
+        assert params.consensus_name == "LeaderlessBFT"

@@ -1,0 +1,111 @@
+"""Additional property-based tests: engine, network, spec round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import RngFactory
+from repro.core.spec import (
+    AccountSample,
+    Behavior,
+    ClientSpec,
+    ContractSample,
+    EndpointSample,
+    InvokeSpec,
+    LoadSchedule,
+    LocationSample,
+    TransferSpec,
+    WorkloadGroup,
+    WorkloadSpec,
+    parse_function_call,
+)
+from repro.sim.engine import Engine
+from repro.sim.network import Endpoint, Network
+from repro.vm.gas import DEFAULT_SCHEDULE, scaled_schedule
+
+
+class TestEngineCancellation:
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                        allow_nan=False),
+                              st.booleans()),
+                    min_size=1, max_size=40))
+    def test_exactly_the_uncancelled_events_run(self, entries):
+        engine = Engine()
+        executed = []
+        handles = []
+        for index, (time, cancel) in enumerate(entries):
+            handles.append((engine.schedule_at(
+                time, lambda i=index: executed.append(i)), cancel))
+        for handle, cancel in handles:
+            if cancel:
+                handle.cancel()
+        engine.run()
+        expected = {i for i, (_, cancel) in enumerate(entries) if not cancel}
+        assert set(executed) == expected
+
+
+class TestNetworkProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=10_000),
+                    min_size=1, max_size=20),
+           st.integers(min_value=0, max_value=2**16))
+    def test_same_link_messages_arrive_in_fifo_order(self, sizes, seed):
+        engine = Engine()
+        network = Network(engine, RngFactory(seed), jitter_cv=0.0)
+        src = Endpoint("a", "ohio")
+        dst = Endpoint("b", "tokyo")
+        arrivals = []
+        for index, size in enumerate(sizes):
+            network.send(src, dst, size,
+                         lambda i=index: arrivals.append(i))
+        engine.run()
+        assert arrivals == sorted(arrivals)
+
+    @given(st.integers(min_value=0, max_value=2**16))
+    def test_delivery_is_never_faster_than_propagation(self, seed):
+        engine = Engine()
+        network = Network(engine, RngFactory(seed))
+        src, dst = Endpoint("a", "sydney"), Endpoint("b", "cape-town")
+        times = []
+        network.send(src, dst, 100, lambda: times.append(engine.now))
+        engine.run()
+        assert times[0] >= 0.4104 / 2
+
+
+class TestGasScheduleProperties:
+    @given(st.floats(min_value=1.0, max_value=64.0, allow_nan=False))
+    def test_scaling_preserves_base_tx_and_orders_costs(self, factor):
+        scaled = scaled_schedule(factor)
+        assert scaled.base_tx == DEFAULT_SCHEDULE.base_tx
+        assert scaled.store >= DEFAULT_SCHEDULE.store
+        assert scaled.load >= DEFAULT_SCHEDULE.load
+        # relative ordering of operations survives scaling
+        assert scaled.store_new > scaled.store > scaled.load > scaled.arith
+
+
+class TestSpecProperties:
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll",)),
+                   min_size=1, max_size=12),
+           st.lists(st.integers(min_value=0, max_value=10**6),
+                    max_size=5))
+    def test_function_call_roundtrip(self, name, args):
+        call = f"{name}({', '.join(map(str, args))})" if args else name
+        parsed_name, parsed_args = parse_function_call(call)
+        assert parsed_name == name
+        assert list(parsed_args) == args
+
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=1, max_value=1000),
+           st.floats(min_value=1.0, max_value=600.0, allow_nan=False))
+    def test_offered_load_scales_with_clients(self, clients, rate, duration):
+        def build(n):
+            return WorkloadSpec((WorkloadGroup(
+                number=n,
+                client=ClientSpec(
+                    LocationSample((".*",)), EndpointSample((".*",)),
+                    (Behavior(TransferSpec(AccountSample(10)),
+                              LoadSchedule.constant(rate, duration)),))),))
+        single = build(1).offered_load()
+        many = build(clients).offered_load()
+        assert many == pytest.approx(single * clients)

@@ -1,0 +1,88 @@
+"""Tests for the deployment configurations (Table 3, left)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.sim.deployment import (
+    COMMUNITY,
+    CONFIGURATIONS,
+    CONSORTIUM,
+    DATACENTER,
+    DEVNET,
+    TESTNET,
+    DeploymentConfig,
+    get_configuration,
+)
+from repro.sim.machine import C5_2XLARGE, C5_9XLARGE, C5_XLARGE
+from repro.sim.network import REGIONS
+
+
+class TestPaperConfigurations:
+    """The exact Table 3 settings."""
+
+    def test_datacenter(self):
+        assert DATACENTER.node_count == 10
+        assert DATACENTER.instance_type is C5_9XLARGE
+        assert DATACENTER.regions == ("ohio",)
+
+    def test_testnet(self):
+        assert TESTNET.node_count == 10
+        assert TESTNET.instance_type is C5_XLARGE
+        assert TESTNET.regions == ("ohio",)
+
+    def test_devnet(self):
+        assert DEVNET.node_count == 10
+        assert DEVNET.instance_type is C5_XLARGE
+        assert set(DEVNET.regions) == set(REGIONS)
+
+    def test_community(self):
+        assert COMMUNITY.node_count == 200
+        assert COMMUNITY.instance_type is C5_XLARGE
+        assert set(COMMUNITY.regions) == set(REGIONS)
+
+    def test_consortium(self):
+        assert CONSORTIUM.node_count == 200
+        assert CONSORTIUM.instance_type is C5_2XLARGE
+        assert set(CONSORTIUM.regions) == set(REGIONS)
+
+    def test_five_configurations(self):
+        assert sorted(CONFIGURATIONS) == [
+            "community", "consortium", "datacenter", "devnet", "testnet"]
+
+
+class TestEndpoints:
+    def test_endpoints_spread_equally(self):
+        endpoints = CONSORTIUM.endpoints()
+        per_region = {}
+        for ep in endpoints:
+            per_region[ep.region] = per_region.get(ep.region, 0) + 1
+        assert all(count == 20 for count in per_region.values())
+
+    def test_single_region_configs_stay_local(self):
+        assert all(ep.region == "ohio" for ep in DATACENTER.endpoints())
+
+    def test_node_regions_helper(self):
+        assert DEVNET.node_regions() == [ep.region for ep in DEVNET.endpoints()]
+
+
+class TestValidation:
+    def test_get_configuration(self):
+        assert get_configuration("testnet") is TESTNET
+
+    def test_unknown_configuration(self):
+        with pytest.raises(ConfigurationError):
+            get_configuration("mainnet")
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeploymentConfig("bad", 0, C5_XLARGE, ("ohio",))
+
+    def test_empty_regions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeploymentConfig("bad", 1, C5_XLARGE, ())
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeploymentConfig("bad", 1, C5_XLARGE, ("atlantis",))

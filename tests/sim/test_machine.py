@@ -1,0 +1,122 @@
+"""Tests for the machine (instance type) model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.sim.engine import Engine
+from repro.sim.machine import (
+    C5_2XLARGE,
+    C5_9XLARGE,
+    C5_XLARGE,
+    INSTANCE_TYPES,
+    InstanceType,
+    Machine,
+)
+from repro.sim.network import Endpoint
+
+
+class TestInstanceTypes:
+    def test_paper_instance_specs(self):
+        # §5.1: c5.xlarge ... to c5.9xlarge (36 vCPUs, 72 GiB)
+        assert C5_9XLARGE.vcpus == 36
+        assert C5_9XLARGE.memory == 72 * 1024**3
+        assert C5_2XLARGE.vcpus == 8
+        assert C5_2XLARGE.memory == 16 * 1024**3
+        assert C5_XLARGE.vcpus == 4
+
+    def test_registry(self):
+        assert INSTANCE_TYPES["c5.xlarge"] is C5_XLARGE
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InstanceType("bad", vcpus=0, memory=1)
+        with pytest.raises(ConfigurationError):
+            InstanceType("bad", vcpus=1, memory=0)
+
+
+@pytest.fixture
+def machine(engine):
+    return Machine(engine, Endpoint("m", "ohio"), C5_XLARGE)
+
+
+class TestCpu:
+    def test_single_job_completes_after_cost(self, engine, machine):
+        finish = machine.execute(2.0)
+        assert finish == pytest.approx(2.0)
+
+    def test_jobs_fill_cores_before_queueing(self, engine, machine):
+        # 4 vCPUs: four 1-second jobs run in parallel, the fifth queues
+        finishes = [machine.execute(1.0) for _ in range(5)]
+        assert finishes[:4] == [pytest.approx(1.0)] * 4
+        assert finishes[4] == pytest.approx(2.0)
+
+    def test_more_cores_more_parallelism(self, engine):
+        big = Machine(engine, Endpoint("big", "ohio"), C5_9XLARGE)
+        finishes = [big.execute(1.0) for _ in range(36)]
+        assert all(f == pytest.approx(1.0) for f in finishes)
+
+    def test_completion_callback_fires(self, engine, machine):
+        seen = []
+        machine.execute(1.5, on_done=lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [1.5]
+
+    def test_negative_cost_rejected(self, machine):
+        with pytest.raises(SimulationError):
+            machine.execute(-1.0)
+
+    def test_counters(self, engine, machine):
+        machine.execute(1.0)
+        machine.execute(0.5)
+        assert machine.jobs_executed == 2
+        assert machine.cpu_seconds_total == pytest.approx(1.5)
+
+    def test_backlog_reports_queued_work(self, engine, machine):
+        for _ in range(8):
+            machine.execute(1.0)
+        assert machine.backlog() == pytest.approx(2.0)
+
+    def test_speed_factor_scales_execution(self, engine):
+        fast_type = InstanceType("fast", vcpus=1, memory=1024,
+                                 speed_factor=2.0)
+        fast = Machine(engine, Endpoint("f", "ohio"), fast_type)
+        assert fast.execute(1.0) == pytest.approx(0.5)
+
+
+class TestMemory:
+    def test_allocate_within_capacity(self, machine):
+        assert machine.allocate(1024)
+        assert machine.memory_used == 1024
+
+    def test_allocate_beyond_capacity_fails(self, machine):
+        assert not machine.allocate(machine.instance_type.memory + 1)
+        assert machine.memory_used == 0
+
+    def test_release_frees_memory(self, machine):
+        machine.allocate(2048)
+        machine.release(1024)
+        assert machine.memory_used == 1024
+
+    def test_release_never_goes_negative(self, machine):
+        machine.release(1 << 40)
+        assert machine.memory_used == 0
+
+    def test_negative_allocation_rejected(self, machine):
+        with pytest.raises(SimulationError):
+            machine.allocate(-1)
+
+
+class TestUtilization:
+    def test_idle_machine_has_zero_utilization(self, machine):
+        assert machine.utilization(1.0) == 0.0
+
+    def test_saturated_machine_reports_full(self, engine, machine):
+        for _ in range(16):
+            machine.execute(1.0)
+        assert machine.utilization(1.0) == 1.0
+
+    def test_window_must_be_positive(self, machine):
+        with pytest.raises(SimulationError):
+            machine.utilization(0.0)

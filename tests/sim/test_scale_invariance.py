@@ -1,0 +1,53 @@
+"""The scale transform must preserve the dimensionless results.
+
+DESIGN.md's laptop-scale substitution claims that running at scale ``s``
+(rates x s, capacities x s, per-transaction CPU and bytes x 1/s) preserves
+utilisation, stress ratios and therefore throughput ratios and latencies.
+These tests measure the same experiment at two scales and require the
+*unscaled-equivalent* outputs to agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import run_trace
+from repro.workloads import constant_transfer_trace
+
+
+def run_at(scale: float, chain: str, rate: float = 600.0,
+           duration: float = 30.0):
+    return run_trace(chain, "testnet",
+                     constant_transfer_trace(rate, duration),
+                     accounts=100, scale=scale, seed=5, drain=120)
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("chain", ["quorum", "solana", "avalanche"])
+    def test_throughput_is_scale_invariant(self, chain):
+        coarse = run_at(0.05, chain)
+        fine = run_at(0.2, chain)
+        assert coarse.average_throughput == pytest.approx(
+            fine.average_throughput, rel=0.2)
+
+    @pytest.mark.parametrize("chain", ["quorum", "solana"])
+    def test_latency_is_scale_invariant(self, chain):
+        coarse = run_at(0.05, chain)
+        fine = run_at(0.2, chain)
+        assert coarse.average_latency == pytest.approx(
+            fine.average_latency, rel=0.3, abs=0.5)
+
+    def test_commit_ratio_is_scale_invariant_under_overload(self):
+        # overload Diem: the drop fraction should not depend on the scale
+        coarse = run_trace("diem", "testnet",
+                           constant_transfer_trace(5_000, 30),
+                           accounts=100, scale=0.05, seed=5, drain=120)
+        fine = run_trace("diem", "testnet",
+                         constant_transfer_trace(5_000, 30),
+                         accounts=100, scale=0.2, seed=5, drain=120)
+        assert coarse.commit_ratio == pytest.approx(fine.commit_ratio,
+                                                    abs=0.15)
+
+    def test_reported_rates_are_unscaled(self):
+        result = run_at(0.1, "quorum", rate=500.0)
+        assert result.average_load == pytest.approx(500.0, rel=0.05)
