@@ -104,6 +104,34 @@ def format_table(rows: List[Dict], float_format: str = "{:.2f}") -> str:
     return "\n".join(lines)
 
 
+def degradation_report(result: BenchmarkResult) -> str:
+    """Availability report for a faulted run (text, for bench stdout).
+
+    Shows the commit ratio before/during/after the fault window, the time
+    the chain took to commit again after the last repair, and the client
+    retry burden — the robustness counterpart of the paper's §6.5 drop
+    accounting.
+    """
+    info = result.degradation()
+    if info is None:
+        return "(no faults injected)"
+    start, end = info["fault_window"]
+    ttr = info["time_to_recover_s"]
+    lines = [
+        f"fault window          {start:.1f}s .. {end:.1f}s",
+        f"commit ratio before   {info['commit_ratio_before']:.2%}",
+        f"commit ratio during   {info['commit_ratio_during']:.2%}",
+        f"commit ratio after    {info['commit_ratio_after']:.2%}",
+        "time to recover       "
+        + (f"{ttr:.2f}s" if ttr is not None else "never recovered"),
+        f"retries per tx        {info['retries_per_tx']:.2f}",
+    ]
+    events = ", ".join(
+        f"{e['kind']}@{e['at']:.0f}s" for e in result.fault_events)
+    lines.append(f"events                {events}")
+    return "\n".join(lines)
+
+
 def throughput_timeseries(result: BenchmarkResult,
                           bin_size: float = 1.0) -> List[Dict[str, float]]:
     """Per-second load vs throughput rows (the paper's time series)."""

@@ -56,6 +56,7 @@ from repro.consensus.models import (
 from repro.crypto.signing import ECDSA, SignatureScheme
 from repro.sim.deployment import DeploymentConfig
 from repro.sim.engine import Engine
+from repro.sim.faults import FaultInjector
 from repro.sim.machine import Machine
 from repro.sim.network import Endpoint
 from repro.vm.base import VirtualMachine
@@ -99,6 +100,56 @@ class ExperimentScale:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry/timeout/backoff behaviour (§5.2 client loops).
+
+    Mirrors what the paper's real client implementations do under stress:
+    Algorand clients poll and retry rejected submissions; Solana clients
+    refresh the recent block hash and resubmit when a transaction falls out
+    of the 120-second recency window. Backoff is exponential with
+    multiplicative jitter drawn from the experiment's seeded RNG, so retry
+    traffic is reproducible and never synchronises into a storm.
+
+    ``max_attempts``        total submission attempts per transaction (>= 1)
+    ``base_delay``          backoff before the first retry, seconds
+    ``multiplier``          exponential growth factor per attempt
+    ``max_delay``           backoff ceiling, seconds
+    ``jitter``              +/- fraction of the delay randomised away
+    ``resubmit_on_expiry``  re-sign and resubmit pool-expired transactions
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    resubmit_on_expiry: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ConfigurationError(
+                f"need 0 <= base_delay <= max_delay, got"
+                f" {self.base_delay}/{self.max_delay}")
+        if self.multiplier < 1:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0 <= self.jitter < 1:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(self, attempt: int, rng) -> float:
+        """Delay before submission attempt ``attempt + 1`` (attempt >= 1)."""
+        delay = min(self.max_delay,
+                    self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter > 0:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return max(0.0, delay)
+
+
+@dataclass(frozen=True)
 class ChainParams:
     """Everything configurable about one blockchain (Table 4 + §5.2)."""
 
@@ -121,6 +172,7 @@ class ChainParams:
         default_factory=AccountFactoryLimits)
     exec_parallelism: float = 1.0        # execution threads (geth: ~1)
     gossip_hop: float = 0.08             # client tx -> proposer gossip delay
+    retry_policy: Optional[RetryPolicy] = None  # client retries (off = 1 shot)
     perf_model: Callable[[WanProfile], ConsensusPerfModel] = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
@@ -136,6 +188,7 @@ class SubmissionResult:
 
     accepted: bool
     reason: Optional[str] = None
+    will_retry: bool = False   # rejected now, but a client retry is scheduled
 
 
 class BlockchainNetwork:
@@ -193,10 +246,44 @@ class BlockchainNetwork:
         self.receipts: Dict[int, Receipt] = {}
         self.committed: List[Transaction] = []
         self.dropped: List[Transaction] = []
+        self.drop_reasons: Dict[str, int] = {}
         self.blocks_failed = 0
         self.view_changes_total = 0
         self._committed_height = 0
         self._commit_listeners: List[Callable[[Transaction], None]] = []
+        # fault injection + client retries
+        self.injector: Optional[FaultInjector] = None
+        self.stalled_rounds = 0   # production rounds skipped: no live quorum
+        self._retry_rng = self.rng.stream("client", "retry-jitter")
+        self._attempts: Dict[int, int] = {}
+        self.retries_scheduled = 0
+        self.retries_succeeded = 0
+
+    # -- fault injection ----------------------------------------------------------
+
+    def attach_faults(self, injector: FaultInjector) -> None:
+        """Drive this chain's nodes with *injector*'s fault schedule."""
+        self.injector = injector
+        injector.register(self.engine)
+
+    def _node_available(self, index: int) -> bool:
+        if self.injector is None:
+            return True
+        return self.injector.node_available(
+            index, self.endpoints[index].region)
+
+    def _commit_quorum(self) -> int:
+        """Live, connected validators needed to commit: n - f."""
+        n = len(self.endpoints)
+        return n - (n - 1) // 3
+
+    def _quorum_available(self) -> bool:
+        if self.injector is None:
+            return True
+        largest = self.injector.largest_side_available(
+            list(range(len(self.endpoints))),
+            [ep.region for ep in self.endpoints])
+        return largest >= self._commit_quorum()
 
     # -- setup ---------------------------------------------------------------------
 
@@ -248,20 +335,69 @@ class BlockchainNetwork:
         """A client hands *tx* to its collocated node.
 
         The transaction reaches the proposer's pool one gossip hop later;
-        admission control applies the chain's mempool policy.
+        admission control applies the chain's mempool policy. With a
+        :class:`RetryPolicy` configured, a rejected submission schedules a
+        backed-off client retry instead of dropping immediately; the
+        transaction only counts as dropped once its attempts are exhausted.
         """
         now = self.engine.now
-        tx.submitted_at = submitted_at if submitted_at is not None else now
+        attempt = self._attempts.get(tx.uid, 0) + 1
+        self._attempts[tx.uid] = attempt
+        if attempt == 1:
+            tx.submitted_at = submitted_at if submitted_at is not None else now
+        else:
+            tx.resubmitted_at = now
+            tx.retries = attempt - 1
         self._record_arrivals(1)
         try:
             self.mempool.add(tx)
         except MempoolFullError as exc:
-            tx.aborted = True
-            tx.abort_reason = type(exc).__name__
-            self.dropped.append(tx)
+            if self._schedule_retry(tx, attempt):
+                return SubmissionResult(False, str(exc), will_retry=True)
+            self._record_drop(tx, type(exc).__name__)
             return SubmissionResult(False, str(exc))
+        if attempt > 1:
+            self.retries_succeeded += 1
         self._ensure_production()
         return SubmissionResult(True)
+
+    def _record_drop(self, tx: Transaction, reason: str) -> None:
+        """Single point where a transaction becomes a client-visible drop.
+
+        Tags the reason (mempool admission vs pool expiry vs execution
+        failure) so availability analysis can tell them apart, and keeps
+        per-reason counters for :meth:`stats`.
+        """
+        tx.aborted = True
+        tx.abort_reason = reason
+        self.dropped.append(tx)
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+
+    # -- client retries -----------------------------------------------------------
+
+    def _schedule_retry(self, tx: Transaction, attempt: int) -> bool:
+        """Back off and resubmit *tx* if the retry policy allows another try."""
+        policy = self.params.retry_policy
+        if policy is None or attempt >= policy.max_attempts:
+            return False
+        delay = policy.backoff(attempt, self._retry_rng)
+        self.retries_scheduled += 1
+        self.engine.schedule_after(delay, lambda: self._retry(tx),
+                                   label=f"{self.params.name}-retry")
+        return True
+
+    def _retry(self, tx: Transaction) -> None:
+        if tx.aborted or tx.committed_at is not None or tx in self.mempool:
+            return
+        if self.params.tx_expiry is not None:
+            # a resubmitting client re-reads the chain head first, exactly
+            # the Solana recent-blockhash refresh loop (§5.2)
+            tx.recent_block_hash = self.ledger.head.block_hash
+        self.submit(tx)
+
+    def attempts_for(self, tx: Transaction) -> int:
+        """Submission attempts recorded for *tx* (1 = no retries)."""
+        return self._attempts.get(tx.uid, 0)
 
     def submit_batch(self, txs: Sequence[Transaction]) -> int:
         """Submit many transactions at the current instant; return accepted."""
@@ -294,6 +430,16 @@ class BlockchainNetwork:
     def _produce_block(self) -> None:
         now = self.engine.now
         self._expire_pool(now)
+        if not self._quorum_available():
+            # the fault schedule took out too many validators (or split
+            # them): no side of the network can assemble a commit quorum,
+            # so the chain stalls — the §6.3/§6.5 availability dip.
+            # Transactions keep queueing (or expiring) in the mempool.
+            self.stalled_rounds += 1
+            self.engine.schedule_after(
+                self.model.next_block_delay(self._last_round_latency),
+                self._produce_block, label=f"{self.params.name}-stalled")
+            return
         backlog = len(self.mempool)
         if backlog == 0:
             needs_confirmations = (
@@ -328,13 +474,32 @@ class BlockchainNetwork:
             return
         self._seal_block(batch, backlog)
 
+    def _next_leader(self) -> Tuple[int, int]:
+        """(leader index, crashed leaders skipped) for the next block.
+
+        Round-robin rotation, skipping validators the fault schedule has
+        taken down; every skip costs a view change (the protocol had to
+        time out on the dead proposer before rotating past it).
+        """
+        n = len(self.endpoints)
+        skipped = 0
+        for _ in range(n):
+            index = self._leader_cursor % n
+            self._leader_cursor += 1
+            if self._node_available(index):
+                return index, skipped
+            skipped += 1
+        # _quorum_available gates production, so a live node exists; keep
+        # the last index as a fallback for direct (unguarded) callers
+        return index, skipped
+
     def _seal_block(self, batch: Sequence[Transaction], backlog: int) -> None:
         backlog_unscaled = int(backlog / self.scale.factor)
-        leader = self.endpoints[self._leader_cursor % len(self.endpoints)]
-        self._leader_cursor += 1
+        leader_index, skipped = self._next_leader()
+        leader = self.endpoints[leader_index]
         # execute the block on the leader's machine
         receipts, exec_cpu = self._execute_batch(batch)
-        machine = self.machines[(self._leader_cursor - 1) % len(self.machines)]
+        machine = self.machines[leader_index]
         exec_time = (self.scale.inflate_cpu(exec_cpu)
                      / max(1.0, self.params.exec_parallelism))
         machine.execute(self.scale.inflate_cpu(exec_cpu))
@@ -347,11 +512,12 @@ class BlockchainNetwork:
             leader_region=leader.region,
             arrival_rate=self.arrival_rate())
         outcome = self.model.decide(attempt)
-        self.view_changes_total += outcome.view_changes
-        self._last_round_latency = max(outcome.latency, 1e-3)
+        self.view_changes_total += outcome.view_changes + skipped
+        latency = outcome.latency + skipped * max(self._last_round_latency, 0.5)
+        self._last_round_latency = max(latency, 1e-3)
         if outcome.committed:
             self.engine.schedule_after(
-                outcome.latency,
+                latency,
                 lambda: self._append_block(batch, receipts, leader.name),
                 label=f"{self.params.name}-append")
         else:
@@ -408,9 +574,7 @@ class BlockchainNetwork:
             # the transaction is in a block but its execution failed — the
             # client sees an error ("budget exceeded", revert, out-of-gas),
             # not a commit (§6.4 / experiment E2)
-            tx.aborted = True
-            tx.abort_reason = receipt.status.value
-            self.dropped.append(tx)
+            self._record_drop(tx, receipt.status.value)
             return
         observation = self._observation_delay()
         tx.committed_at = final_time + observation
@@ -431,10 +595,12 @@ class BlockchainNetwork:
     def _expire_pool(self, now: float) -> None:
         if self.params.tx_expiry is None:
             return
+        policy = self.params.retry_policy
         for tx in self.mempool.drop_expired(now, self.params.tx_expiry):
-            tx.aborted = True
-            tx.abort_reason = "expired"
-            self.dropped.append(tx)
+            if (policy is not None and policy.resubmit_on_expiry
+                    and self._schedule_retry(tx, self._attempts.get(tx.uid, 1))):
+                continue
+            self._record_drop(tx, "expired")
 
     # -- results ----------------------------------------------------------------------------------
 
@@ -444,7 +610,7 @@ class BlockchainNetwork:
 
     def stats(self) -> Dict[str, float]:
         committed = len(self.committed)
-        return {
+        stats: Dict[str, float] = {
             "height": self.ledger.height,
             "committed": committed,
             "dropped": len(self.dropped),
@@ -452,3 +618,12 @@ class BlockchainNetwork:
             "blocks_failed": self.blocks_failed,
             "view_changes": self.view_changes_total,
         }
+        for reason, count in sorted(self.drop_reasons.items()):
+            stats[f"dropped_{reason}"] = count
+        if self.params.retry_policy is not None:
+            stats["retries_scheduled"] = self.retries_scheduled
+            stats["retries_succeeded"] = self.retries_succeeded
+        if self.injector is not None:
+            stats["stalled_rounds"] = self.stalled_rounds
+            stats["fault_events_applied"] = len(self.injector.events_applied)
+        return stats

@@ -143,10 +143,19 @@ class Mempool:
         return True
 
     def drop_expired(self, now: float, max_age: float) -> List[Transaction]:
-        """Drop transactions submitted more than *max_age* seconds ago."""
+        """Drop transactions submitted more than *max_age* seconds ago.
+
+        A resubmitted transaction (client retry with a refreshed recent
+        block hash) ages from its latest resubmission, not its original
+        submission — matching how Solana clients refresh blockhash recency.
+        """
+        def age_base(tx: Transaction) -> Optional[float]:
+            return (tx.resubmitted_at if tx.resubmitted_at is not None
+                    else tx.submitted_at)
+
         expired = [tx for tx in self._pool.values()
-                   if tx.submitted_at is not None
-                   and now - tx.submitted_at > max_age]
+                   if age_base(tx) is not None
+                   and now - age_base(tx) > max_age]
         for tx in expired:
             self.remove(tx)
         self.evicted += len(expired)

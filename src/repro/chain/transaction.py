@@ -60,6 +60,8 @@ class Transaction:
     # benchmark bookkeeping, set by DIABLO components
     submitted_at: Optional[float] = None
     committed_at: Optional[float] = None
+    resubmitted_at: Optional[float] = None
+    retries: int = 0
     aborted: bool = False
     abort_reason: Optional[str] = None
 

@@ -30,11 +30,18 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.summary import transactions_to_csv
+from repro.analysis.summary import degradation_report, transactions_to_csv
 from repro.blockchains.registry import CHAIN_NAMES, characteristics_table
 from repro.core.results import BenchmarkResult
 from repro.core.runner import run_benchmark, run_trace
-from repro.sim.deployment import CONFIGURATIONS
+from repro.core.spec import (
+    AccountSample,
+    LoadSchedule,
+    TransferSpec,
+    simple_spec,
+)
+from repro.sim.deployment import CONFIGURATIONS, get_configuration
+from repro.sim.faults import events_from_dicts
 from repro.workloads import (
     constant_transfer_trace,
     dapp_suite,
@@ -105,6 +112,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "csv", help="convert a results JSON file to per-transaction CSV")
     csv_parser.add_argument("results", type=Path)
 
+    faults_parser = commands.add_parser(
+        "faults", help="crash-and-recover robustness demo with a fault"
+        " schedule (crashes f+1 validators, then recovers them)")
+    _add_common(faults_parser)
+    faults_parser.add_argument("--crash-at", type=float, default=30.0,
+                               help="when the validators fail (seconds)")
+    faults_parser.add_argument("--recover-at", type=float, default=60.0,
+                               help="when they rejoin (seconds)")
+    faults_parser.add_argument("--rate", type=float, default=200.0,
+                               help="offered load in TPS")
+    faults_parser.add_argument("--runtime", type=float, default=90.0,
+                               help="workload duration (seconds)")
+
     commands.add_parser("chains", help="list the evaluated blockchains")
     commands.add_parser("workloads", help="list the built-in workloads")
 
@@ -122,6 +142,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                            accounts=args.accounts, scale=args.scale,
                            seed=args.seed)
         _emit(result, args.output, args.stat, args.compress)
+    elif args.command == "faults":
+        config = get_configuration(args.configuration)
+        # f+1 crashed validators deny the n-f commit quorum: the chain
+        # stalls until they recover (the availability-dip demonstration)
+        victims = list(range((config.node_count - 1) // 3 + 1))
+        faults = events_from_dicts([
+            {"at": args.crash_at, "kind": "crash", "nodes": victims},
+            {"at": args.recover_at, "kind": "recover", "nodes": victims},
+        ])
+        spec = simple_spec(
+            TransferSpec(AccountSample(args.accounts)),
+            LoadSchedule.constant(args.rate, args.runtime),
+            faults=faults)
+        result = run_benchmark(args.chain, args.configuration, spec,
+                               workload_name="crash-and-recover",
+                               scale=args.scale, seed=args.seed)
+        _emit(result, args.output, args.stat, args.compress)
+        print(degradation_report(result))
     elif args.command == "csv":
         if args.results.suffix == ".gz":
             import gzip

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.common.errors import SimulationError
 from repro.common.rng import RngFactory
 from repro.sim.engine import Engine
+from repro.sim.faults import FaultInjector
 from repro.sim.network import Endpoint, Network, spread_endpoints
 
 VOTE_MESSAGE_SIZE = 200  # bytes: digest + signature + metadata
@@ -109,6 +110,14 @@ class Replica:
         """Called on each delivered message."""
         raise NotImplementedError
 
+    def on_recover(self) -> None:
+        """Called when this replica rejoins after a crash.
+
+        Subclasses re-arm timers and run whatever state sync their protocol
+        needs; the default is to rejoin with frozen state and catch up from
+        incoming traffic.
+        """
+
 
 class ConsensusHarness:
     """Runs ``n`` replicas of a protocol over the simulated network."""
@@ -117,7 +126,8 @@ class ConsensusHarness:
                  engine: Optional[Engine] = None,
                  regions: Optional[Iterable[str]] = None,
                  seed: int = 0,
-                 drop_rate: float = 0.0) -> None:
+                 drop_rate: float = 0.0,
+                 injector: Optional[FaultInjector] = None) -> None:
         self.engine = engine or Engine()
         self.replicas = list(replicas)
         self.n = len(self.replicas)
@@ -129,15 +139,27 @@ class ConsensusHarness:
         factory = RngFactory(seed)
         self.network = Network(self.engine, factory)
         self._drop_rng = factory.stream("harness", "drops")
+        self._fault_rng = factory.stream("harness", "fault-drops")
         self.drop_rate = drop_rate
-        self.crashed: set = set()
+        self.injector = injector or FaultInjector()
+        self.injector.subscribe(self._on_fault_event)
+        if injector is not None and len(injector.schedule):
+            self.injector.register(self.engine)
         self.decisions: List[Decision] = []
         self._payload_queue: List[Any] = []
         self._filler_counter = 0
         self.messages_routed = 0
+        self.dropped_by_crash = 0    # sender or target fail-stopped
+        self.dropped_by_fault = 0    # partition / outage / link drop rate
+        self.dropped_by_loss = 0     # baseline drop_rate losses
         for node_id, replica in enumerate(self.replicas):
             replica.node_id = node_id
             replica.harness = self
+
+    @property
+    def crashed(self) -> set:
+        """Currently crashed replica ids (a live view of injector state)."""
+        return self.injector.crashed
 
     # -- payloads -------------------------------------------------------------------
 
@@ -155,26 +177,77 @@ class ConsensusHarness:
 
     def crash(self, node_id: int) -> None:
         """Crash a replica: it stops sending and receiving (fail-stop)."""
-        self.crashed.add(node_id)
+        self.injector.crash(node_id)
+
+    def recover(self, node_id: int) -> None:
+        """Recover a crashed replica: it rejoins and catches up."""
+        self.injector.recover(node_id)
+
+    def _on_fault_event(self, kind: str, payload: Any) -> None:
+        """Injector listener: give rejoining replicas their recovery hook."""
+        if kind != "recover":
+            return
+        if isinstance(payload, int) and 0 <= payload < self.n:
+            self.replicas[payload].on_recover()
 
     def route(self, sender: int, target: int, message: Message) -> None:
         self.messages_routed += 1
-        if sender in self.crashed or target in self.crashed:
+        sender_region = self.endpoints[sender].region
+        target_region = self.endpoints[target].region
+        injector = self.injector
+        if injector.is_crashed(sender) or injector.is_crashed(target):
+            self.dropped_by_crash += 1
             return
-        if self.drop_rate > 0 and sender != target:
-            if float(self._drop_rng.random()) < self.drop_rate:
+        if not injector.reachable(sender, target,
+                                  sender_region, target_region):
+            self.dropped_by_fault += 1
+            return
+        extra_latency = 0.0
+        if sender != target:
+            extra_latency, fault_drop = self._link_faults(
+                sender, target, sender_region, target_region)
+            if fault_drop > 0 and float(self._fault_rng.random()) < fault_drop:
+                self.dropped_by_fault += 1
                 return
+            if self.drop_rate > 0:
+                if float(self._drop_rng.random()) < self.drop_rate:
+                    self.dropped_by_loss += 1
+                    return
         replica = self.replicas[target]
+        deliver: Callable[[], None] = lambda: replica.on_message(message)
+        if extra_latency > 0:
+            deliver = (lambda d=deliver, lat=extra_latency:
+                       self.engine.schedule_after(
+                           lat, d, label=f"degraded-{message.kind}"))
         if sender == target:
             # local delivery: next event, no network transit
             self.engine.schedule_after(
-                0.0, lambda: replica.on_message(message),
-                label=f"self-{message.kind}")
+                0.0, deliver, label=f"self-{message.kind}")
             return
         self.network.send(
             self.endpoints[sender], self.endpoints[target], message.size,
-            lambda: replica.on_message(message),
-            label=f"msg-{message.kind}")
+            deliver, label=f"msg-{message.kind}")
+
+    def _link_faults(self, sender: int, target: int,
+                     sender_region: str, target_region: str
+                     ) -> Tuple[float, float]:
+        """LinkDegrade state for a replica pair, by id and by region."""
+        extra, drop = self.injector.link_state(sender, target)
+        if sender_region != target_region:
+            region_extra, region_drop = self.injector.link_state(
+                sender_region, target_region)
+            extra += region_extra
+            drop = 1.0 - (1.0 - drop) * (1.0 - region_drop)
+        return extra, drop
+
+    def stats(self) -> Dict[str, int]:
+        """Routing statistics, fault losses accounted separately."""
+        return {
+            "messages_routed": self.messages_routed,
+            "dropped_by_crash": self.dropped_by_crash,
+            "dropped_by_fault": self.dropped_by_fault,
+            "dropped_by_loss": self.dropped_by_loss,
+        }
 
     # -- decisions -------------------------------------------------------------------
 

@@ -103,6 +103,18 @@ class HotStuffReplica(Replica):
         if self.leader_of(self.view) == self.node_id:
             self._propose()
 
+    def on_recover(self) -> None:
+        """Rejoin after a crash: re-arm the pacemaker and catch up naturally.
+
+        Chained HotStuff needs no explicit state transfer for safety — the
+        recovered replica's lock is stale but still safe, and incoming
+        proposals carry the QCs it needs to advance its view and resume
+        voting. Heights committed while it was down simply stay uncommitted
+        locally (their parents never arrived), which agreement allows.
+        """
+        self._timeouts_fired = 0
+        self._arm_timer()
+
     def _propose(self) -> None:
         parent = self.blocks.get(self.high_qc.block_id)
         if parent is None:

@@ -78,6 +78,29 @@ class IBFTReplica(Replica):
     def on_start(self) -> None:
         self._start_round()
 
+    def on_recover(self) -> None:
+        """Rejoin after a crash: state-sync decided heights, restart rounds.
+
+        IBFT instances are strictly sequential per height, so a node that
+        slept through heights h..h+k can never re-run them — real deployments
+        download the committed blocks from peers before rejoining consensus.
+        The harness's decision log plays the role of that block store: the
+        recovered node adopts every contiguous decided height it missed
+        (recording its own commit for each, which keeps the agreement
+        invariant checkable), then resumes the protocol at the next height.
+        """
+        decided: Dict[int, object] = {}
+        for decision in self.harness.decisions:
+            decided.setdefault(decision.height, decision.value)
+        height = self.height
+        while height in decided:
+            self.decided_values[height] = decided[height]
+            self.decide(height, decided[height])
+            height += 1
+        self.height = height
+        self.round = 0
+        self._start_round()
+
     def _start_round(self) -> None:
         self._proposal = None
         self._arm_timer()

@@ -25,6 +25,7 @@ from repro.core.secondary import Secondary
 from repro.core.spec import WorkloadSpec
 from repro.sim.deployment import DeploymentConfig, get_configuration
 from repro.sim.engine import Engine
+from repro.sim.faults import FaultInjector
 
 DEFAULT_DRAIN = 240.0
 
@@ -138,6 +139,9 @@ class Primary:
         self._provision(spec)
         self._build_secondaries(spec)
         self._dispatch(spec)
+        schedule = spec.fault_schedule()
+        if len(schedule):
+            self.network.attach_faults(FaultInjector(schedule))
         self.network.active_until = duration
         for secondary in self.secondaries:
             secondary.start()
@@ -146,13 +150,15 @@ class Primary:
 
     def _aggregate(self, spec: WorkloadSpec, workload_name: str,
                    duration: float) -> BenchmarkResult:
+        schedule = spec.fault_schedule()
         result = BenchmarkResult(
             chain=self.chain_name,
             configuration=self.deployment.name,
             workload_name=workload_name,
             duration=duration,
             scale=self.scale.factor,
-            chain_stats=self.network.stats())
+            chain_stats=self.network.stats(),
+            fault_events=schedule.summaries())
         for secondary in self.secondaries:
             for tx, client_name in secondary.sent:
                 result.records.append(

@@ -32,6 +32,7 @@ class TransactionRecord:
     committed_at: Optional[float]
     aborted: bool
     abort_reason: Optional[str]
+    retries: int = 0
 
     @property
     def committed(self) -> bool:
@@ -54,7 +55,8 @@ class TransactionRecord:
             submitted_at=tx.submitted_at if tx.submitted_at is not None else -1.0,
             committed_at=None if tx.aborted else tx.committed_at,
             aborted=tx.aborted,
-            abort_reason=tx.abort_reason)
+            abort_reason=tx.abort_reason,
+            retries=tx.retries)
 
 
 @dataclass
@@ -68,6 +70,9 @@ class BenchmarkResult:
     scale: float
     records: List[TransactionRecord] = field(default_factory=list)
     chain_stats: Dict[str, float] = field(default_factory=dict)
+    #: JSON summaries of the fault schedule applied during the run
+    #: (see :func:`repro.sim.faults.event_summary`)
+    fault_events: List[Dict[str, Any]] = field(default_factory=list)
 
     # -- core aggregates (unscaled back to real-experiment units) ----------------
 
@@ -174,6 +179,83 @@ class BenchmarkResult:
         fractions = np.arange(1, lats.size + 1) / len(self.records)
         return lats, fractions
 
+    # -- fault degradation metrics -------------------------------------------------------
+
+    def fault_window(self) -> Optional[Tuple[float, float]]:
+        """(first disruption, last repair) from the recorded fault events."""
+        if not self.fault_events:
+            return None
+        start = min(e["at"] for e in self.fault_events)
+        end = start
+        for event in self.fault_events:
+            close = event["at"] + event.get("duration", 0.0)
+            end = max(end, close)
+        return start, end
+
+    def commit_ratio_between(self, t0: float, t1: float) -> float:
+        """Commits landing in [t0, t1) per submission made in [t0, t1).
+
+        The instantaneous availability metric: during a fault-induced stall
+        clients keep submitting but nothing commits, so the ratio dips
+        toward zero; after the repair the backlog lands and the ratio can
+        transiently exceed one.
+        """
+        submitted = sum(1 for r in self.records
+                        if t0 <= r.submitted_at < t1)
+        if submitted == 0:
+            return 0.0
+        committed = sum(1 for r in self.records
+                        if r.committed and t0 <= r.committed_at < t1)
+        return committed / submitted
+
+    def time_to_recover(self, fault_end: Optional[float] = None
+                        ) -> Optional[float]:
+        """Seconds from the last repair to the first commit after it.
+
+        ``None`` when there is no fault window or nothing ever commits
+        after the repair (the chain never recovered).
+        """
+        if fault_end is None:
+            window = self.fault_window()
+            if window is None:
+                return None
+            fault_end = window[1]
+        after = [r.committed_at for r in self.records
+                 if r.committed and r.committed_at >= fault_end]
+        if not after:
+            return None
+        return min(after) - fault_end
+
+    def retries_per_transaction(self) -> float:
+        """Average client resubmissions per submitted transaction."""
+        if not self.records:
+            return 0.0
+        return sum(r.retries for r in self.records) / len(self.records)
+
+    def degradation(self) -> Optional[Dict[str, Any]]:
+        """Before/during/after availability around the fault window.
+
+        The robustness report for a faulted run: commit ratios in the three
+        phases, the time from repair to the first post-repair commit, and
+        the client retry burden. ``None`` when the run had no faults.
+        """
+        window = self.fault_window()
+        if window is None:
+            return None
+        start, end = window
+        ttr = self.time_to_recover(end)
+        return {
+            "fault_window": [start, end],
+            "commit_ratio_before": round(
+                self.commit_ratio_between(0.0, start), 4),
+            "commit_ratio_during": round(
+                self.commit_ratio_between(start, end), 4),
+            "commit_ratio_after": round(
+                self.commit_ratio_between(end, self.duration), 4),
+            "time_to_recover_s": None if ttr is None else round(ttr, 3),
+            "retries_per_tx": round(self.retries_per_transaction(), 4),
+        }
+
     # -- abort accounting ----------------------------------------------------------------
 
     def abort_reasons(self) -> Dict[str, int]:
@@ -197,7 +279,7 @@ class BenchmarkResult:
     # -- serialization ------------------------------------------------------------------------
 
     def summary(self) -> Dict[str, Any]:
-        return {
+        summary: Dict[str, Any] = {
             "chain": self.chain,
             "configuration": self.configuration,
             "workload": self.workload_name,
@@ -214,6 +296,10 @@ class BenchmarkResult:
             "aborts": self.abort_reasons(),
             "chain_stats": self.chain_stats,
         }
+        if self.fault_events:
+            summary["fault_events"] = self.fault_events
+            summary["degradation"] = self.degradation()
+        return summary
 
     def to_json(self, indent: Optional[int] = None) -> str:
         payload = {
@@ -232,7 +318,8 @@ class BenchmarkResult:
             workload_name=summary["workload"],
             duration=summary["duration"],
             scale=summary["scale"],
-            chain_stats=summary.get("chain_stats", {}))
+            chain_stats=summary.get("chain_stats", {}),
+            fault_events=summary.get("fault_events", []))
         for raw in payload["transactions"]:
             result.records.append(TransactionRecord(**raw))
         return result

@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import yaml
 
 from repro.common.errors import SpecError
+from repro.sim.faults import FaultEvent, FaultSchedule, events_from_dicts
 
 # -- samples (the `let:` bindings) --------------------------------------------
 
@@ -226,13 +227,26 @@ class WorkloadGroup:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """A complete benchmark configuration."""
+    """A complete benchmark configuration.
+
+    ``faults`` is an optional schedule of timed fault events (node crashes
+    and recoveries, partitions, region outages, link degradation) applied
+    to the chain's validators while the workload runs — see
+    :mod:`repro.sim.faults` for the event vocabulary and the YAML syntax.
+    """
 
     workloads: Tuple[WorkloadGroup, ...]
+    faults: Tuple[FaultEvent, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.workloads:
             raise SpecError("a workload spec needs at least one workload")
+        # validate eagerly so a bad schedule fails at parse time
+        FaultSchedule(self.faults)
+
+    def fault_schedule(self) -> FaultSchedule:
+        """The fault events as a validated, time-ordered schedule."""
+        return FaultSchedule(self.faults)
 
     @property
     def duration(self) -> float:
@@ -356,7 +370,11 @@ def spec_from_dict(document: Dict[str, Any]) -> WorkloadSpec:
         groups.append(WorkloadGroup(
             number=int(raw_group.get("number", 1)),
             client=ClientSpec(location, view, tuple(behaviors))))
-    return WorkloadSpec(tuple(groups))
+    raw_faults = document.get("faults", ())
+    if raw_faults and not isinstance(raw_faults, (list, tuple)):
+        raise SpecError("'faults' must be a list of fault events")
+    faults = events_from_dicts(raw_faults) if raw_faults else ()
+    return WorkloadSpec(tuple(groups), faults=faults)
 
 
 def load_spec(text: str) -> WorkloadSpec:
@@ -369,11 +387,13 @@ def load_spec(text: str) -> WorkloadSpec:
 
 def simple_spec(interaction: Interaction, load: LoadSchedule,
                 clients: int = 1, location: str = ".*",
-                view: str = ".*") -> WorkloadSpec:
+                view: str = ".*",
+                faults: Tuple[FaultEvent, ...] = ()) -> WorkloadSpec:
     """Programmatic shorthand: one workload group, one behaviour."""
     return WorkloadSpec((WorkloadGroup(
         number=clients,
         client=ClientSpec(
             location=LocationSample((location,)),
             view=EndpointSample((view,)),
-            behaviors=(Behavior(interaction, load),))),))
+            behaviors=(Behavior(interaction, load),))),),
+        faults=faults)

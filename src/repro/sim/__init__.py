@@ -1,6 +1,16 @@
 """Discrete-event simulation substrate: engine, network and machines."""
 
 from repro.sim.engine import Engine, EventHandle, PeriodicTask, run_simulation
+from repro.sim.faults import (
+    FaultInjector,
+    FaultSchedule,
+    Heal,
+    LinkDegrade,
+    NodeCrash,
+    NodeRecover,
+    Partition,
+    RegionOutage,
+)
 from repro.sim.machine import (
     C5_2XLARGE,
     C5_9XLARGE,
@@ -27,7 +37,15 @@ __all__ = [
     "Endpoint",
     "Engine",
     "EventHandle",
+    "FaultInjector",
+    "FaultSchedule",
+    "Heal",
     "INSTANCE_TYPES",
+    "LinkDegrade",
+    "NodeCrash",
+    "NodeRecover",
+    "Partition",
+    "RegionOutage",
     "InstanceType",
     "Machine",
     "Network",

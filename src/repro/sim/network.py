@@ -14,7 +14,7 @@ experiments (Fig. 4) develop growing latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from repro.common.errors import NetworkError
 from repro.common.rng import RngFactory
 from repro.common.units import gbps, mbps, ms
 from repro.sim.engine import Engine
+
+if TYPE_CHECKING:
+    from repro.sim.faults import FaultInjector
 
 REGIONS: Tuple[str, ...] = (
     "cape-town",
@@ -228,15 +231,24 @@ class Network:
     def __init__(self, engine: Engine, rng_factory: Optional[RngFactory] = None,
                  jitter_cv: float = 0.05, model_bandwidth: bool = True) -> None:
         self.engine = engine
-        self._rng = (rng_factory or RngFactory(0)).stream("network", "jitter")
+        factory = rng_factory or RngFactory(0)
+        self._rng = factory.stream("network", "jitter")
+        self._fault_rng = factory.stream("network", "fault-drops")
         self._jitter_cv = jitter_cv
         self._model_bandwidth = model_bandwidth
         self._index = _region_index()
         self._rtt = rtt_matrix()
         self._bw = bandwidth_matrix()
         self._pipes: Dict[Tuple[int, int], _LinkPipe] = {}
+        self.injector: Optional["FaultInjector"] = None
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_blocked = 0    # unreachable: crash/partition/outage
+        self.messages_fault_dropped = 0  # lost to LinkDegrade drop rates
+
+    def attach_faults(self, injector: "FaultInjector") -> None:
+        """Consult *injector* on every send (reachability + degradation)."""
+        self.injector = injector
 
     # -- queries -------------------------------------------------------------
 
@@ -264,9 +276,26 @@ class Network:
 
     def send(self, src: Endpoint, dst: Endpoint, size: int,
              on_delivery: Callable[[], None], label: str = "") -> float:
-        """Schedule delivery of a message; return the delivery time."""
+        """Schedule delivery of a message; return the delivery time.
+
+        With a fault injector attached, messages over unreachable links
+        (crashed endpoint, partition, region outage) are silently blocked
+        and ``inf`` is returned; degraded links add latency and may drop
+        the message with their configured probability.
+        """
         if size < 0:
             raise NetworkError(f"negative message size {size}")
+        fault_latency = 0.0
+        if self.injector is not None:
+            if not self.injector.reachable(src.name, dst.name,
+                                           src.region, dst.region):
+                self.messages_blocked += 1
+                return float("inf")
+            extra, drop = self._link_faults(src, dst)
+            if drop > 0 and float(self._fault_rng.random()) < drop:
+                self.messages_fault_dropped += 1
+                return float("inf")
+            fault_latency = extra
         i, j = self._index[src.region], self._index[dst.region]
         now = self.engine.now
         propagation = float(self._rtt[i, j]) / 2.0
@@ -276,11 +305,22 @@ class Network:
         else:
             transfer = size / float(self._bw[i, j])
             queueing = 0.0
-        delay = queueing + transfer + propagation + self._jitter(propagation)
+        delay = (queueing + transfer + propagation
+                 + self._jitter(propagation) + fault_latency)
         self.messages_sent += 1
         self.bytes_sent += size
         self.engine.schedule_after(delay, on_delivery, label=label)
         return now + delay
+
+    def _link_faults(self, src: Endpoint, dst: Endpoint) -> Tuple[float, float]:
+        """Combined degradation for a link, by endpoint name and by region."""
+        extra, drop = self.injector.link_state(src.name, dst.name)
+        if src.region != dst.region:
+            region_extra, region_drop = self.injector.link_state(
+                src.region, dst.region)
+            extra += region_extra
+            drop = 1.0 - (1.0 - drop) * (1.0 - region_drop)
+        return extra, drop
 
     def broadcast(self, src: Endpoint, dsts: Iterable[Endpoint], size: int,
                   on_delivery: Callable[[Endpoint], None],

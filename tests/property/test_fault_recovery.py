@@ -1,0 +1,71 @@
+"""Property tests: BFT safety holds across crash-and-recover schedules.
+
+The satellite invariant of the fault-injection subsystem: with at most f
+replicas crashed and later recovered, HotStuff and IBFT never commit two
+different blocks at the same height (agreement), never double-commit a
+height on one node, and eventually resume committing after the heal.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.base import ConsensusHarness
+from repro.consensus.hotstuff import HotStuffReplica
+from repro.consensus.ibft import IBFTReplica
+from repro.sim.faults import FaultInjector, FaultSchedule
+
+N = 4  # f = 1: any single replica may crash and recover
+RECOVER_AT = 1.8
+UNTIL = 4.5
+
+
+def crash_recover_schedule(victim: int, crash_at: float) -> FaultSchedule:
+    return FaultSchedule.from_dicts([
+        {"at": crash_at, "kind": "crash", "node": victim},
+        {"at": RECOVER_AT, "kind": "recover", "node": victim},
+    ])
+
+
+def run_protocol(replica_factory, victim: int, crash_at: float,
+                 seed: int) -> ConsensusHarness:
+    harness = ConsensusHarness(
+        [replica_factory() for _ in range(N)],
+        seed=seed,
+        injector=FaultInjector(crash_recover_schedule(victim, crash_at)))
+    for i in range(10):
+        harness.submit(f"tx-{i}")
+    harness.run(until=UNTIL)
+    return harness
+
+
+class TestHotStuffCrashRecoverSafety:
+    @settings(max_examples=6, deadline=None)
+    @given(victim=st.integers(min_value=0, max_value=N - 1),
+           crash_at=st.floats(min_value=0.1, max_value=1.5),
+           seed=st.integers(min_value=0, max_value=3))
+    def test_agreement_and_liveness(self, victim, crash_at, seed):
+        harness = run_protocol(
+            lambda: HotStuffReplica(base_timeout=0.25),
+            victim, crash_at, seed)
+        harness.check_agreement()
+        harness.check_no_duplicate_commits()
+        assert any(d.time > RECOVER_AT for d in harness.decisions), \
+            "commits never resumed after the heal"
+
+
+class TestIBFTCrashRecoverSafety:
+    @settings(max_examples=6, deadline=None)
+    @given(victim=st.integers(min_value=0, max_value=N - 1),
+           crash_at=st.floats(min_value=0.1, max_value=1.5),
+           seed=st.integers(min_value=0, max_value=3))
+    def test_agreement_and_liveness(self, victim, crash_at, seed):
+        harness = run_protocol(
+            lambda: IBFTReplica(base_timeout=0.5),
+            victim, crash_at, seed)
+        harness.check_agreement()
+        harness.check_no_duplicate_commits()
+        assert any(d.time > RECOVER_AT for d in harness.decisions), \
+            "commits never resumed after the heal"
