@@ -132,6 +132,56 @@ def degradation_report(result: BenchmarkResult) -> str:
     return "\n".join(lines)
 
 
+def overload_report(result: BenchmarkResult) -> str:
+    """Resource-exhaustion report for an overloaded run (text).
+
+    Narrates the §6 crash-under-load observations: which validators
+    OOM-crashed and when, when consensus stalled, when admission started
+    shedding, how hard the pool dropped, and the watchdog's verdict.
+    """
+    lines = [f"run status            {result.status}"]
+    peak = result.chain_stats.get("memory_pressure_peak")
+    if peak is not None:
+        lines.append(f"peak memory pressure  {float(peak):.0%} of RAM")
+    for event in result.overload_events:
+        kind = event["kind"]
+        at = event["at"]
+        if kind == "oom_crash":
+            lines.append(f"node {event['node']} OOM-crashed at t={at:.1f}s"
+                         f" ({event['pressure']:.0%} of RAM)")
+        elif kind == "commit_stall":
+            lines.append(f"consensus stalled under memory pressure"
+                         f" at t={at:.1f}s")
+        elif kind == "commit_resumed":
+            lines.append(f"consensus resumed at t={at:.1f}s")
+        elif kind == "shed_start":
+            lines.append(f"admission shedding load from t={at:.1f}s")
+        elif kind == "shed_stop":
+            lines.append(f"admission stopped shedding at t={at:.1f}s")
+        else:
+            lines.append(f"{kind} at t={at:.1f}s")
+    if not result.overload_events:
+        lines.append("(no overload responses fired)")
+    drops = {key: int(value) for key, value in result.chain_stats.items()
+             if key.startswith("mempool_drop_")}
+    shed = int(result.chain_stats.get("admission_shed_rejections", 0))
+    if shed:
+        drops["shed_at_door"] = shed
+    if drops:
+        lines.append("drop reasons          " + ", ".join(
+            f"{key.replace('mempool_drop_', '')}={value}"
+            for key, value in sorted(drops.items())))
+    stalled_at = result.stalled_at()
+    if stalled_at is not None:
+        lines.append(f"watchdog: no commit progress since t={stalled_at:.1f}s"
+                     f" — run marked {result.status}")
+    for event in result.liveness_events:
+        if event["kind"] == "deadline_hit":
+            lines.append(f"deadline of {event['deadline']:.0f}s simulated"
+                         f" seconds hit at t={event['at']:.1f}s")
+    return "\n".join(lines)
+
+
 def throughput_timeseries(result: BenchmarkResult,
                           bin_size: float = 1.0) -> List[Dict[str, float]]:
     """Per-second load vs throughput rows (the paper's time series)."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 from repro.chain.mempool import MempoolPolicy
 from repro.consensus.models import CommitteePerf, WanProfile
 from repro.crypto.signing import ED25519
-from repro.blockchains.base import ChainParams
+from repro.blockchains.base import ChainParams, OverloadPolicy
 from repro.sim.deployment import DeploymentConfig
 
 BLOCK_GAS_LIMIT = 75_600_000  # = 3,600 transfers per block
@@ -51,4 +51,10 @@ def params(deployment: DeploymentConfig) -> ChainParams:
         commit_api="poll",           # the DIABLO polling workaround (§5.2)
         poll_interval=POLL_INTERVAL,
         exec_parallelism=2.0,
+        # Algorand keeps committing at capacity through a 10x overload by
+        # rejecting the excess at the node (§6.3 — throughput holds while
+        # most submissions are turned away)
+        overload=OverloadPolicy(
+            response="shed_load",
+            consensus_tx_bytes=16 * 1024),
         perf_model=_perf)

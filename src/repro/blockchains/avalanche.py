@@ -20,7 +20,7 @@ from __future__ import annotations
 from repro.chain.mempool import MempoolPolicy
 from repro.consensus.models import DAGPerf, WanProfile
 from repro.crypto.signing import ECDSA
-from repro.blockchains.base import ChainParams
+from repro.blockchains.base import ChainParams, OverloadPolicy
 from repro.sim.deployment import DeploymentConfig
 
 BLOCK_GAS_LIMIT = 8_000_000   # §5.2
@@ -47,4 +47,9 @@ def params(deployment: DeploymentConfig) -> ChainParams:
         confirmation_depth=0,         # probabilistic finality at acceptance
         commit_api="stream",
         exec_parallelism=1.0,
+        # the throttled block cadence bounds intake; excess load is shed at
+        # the node and throughput even improves as blocks pack tighter (§6.3)
+        overload=OverloadPolicy(
+            response="shed_load",
+            consensus_tx_bytes=8 * 1024),
         perf_model=_perf)

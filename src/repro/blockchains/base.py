@@ -32,9 +32,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.chain.account import AccountFactoryLimits, AccountRegistry
+from repro.chain.admission import AdmissionController, AdmissionPolicy
 from repro.chain.block import Block
 from repro.chain.ledger import Ledger
 from repro.chain.mempool import Mempool, MempoolPolicy
@@ -42,10 +43,12 @@ from repro.chain.receipt import ExecStatus, Receipt
 from repro.chain.state import WorldState
 from repro.chain.transaction import Transaction
 from repro.common.errors import (
+    BackpressureError,
     ChainError,
     ConfigurationError,
     DeploymentError,
     MempoolFullError,
+    NodeOverloadedError,
 )
 from repro.common.rng import RngFactory
 from repro.consensus.models import (
@@ -150,6 +153,62 @@ class RetryPolicy:
 
 
 @dataclass(frozen=True)
+class OverloadPolicy:
+    """How a chain's nodes respond to resource exhaustion (§6 under load).
+
+    Each node's memory ledger is charged three ways, all in unscaled units
+    so the model is invariant under the experiment scale transform:
+
+    * ``pool_tx_bytes`` resident bytes per pending pool transaction;
+    * ``consensus_tx_bytes`` *undecayed* backlog per transaction that
+      entered the full admission path but never left through a block —
+      retry churn, gossip dedup sets, unpruned forks/votes, pool
+      bookkeeping. This is the term that grows without bound under
+      sustained saturation (the §6.3 collapse mechanism);
+    * ``state_tx_bytes`` ledger/state growth per transaction sealed into a
+      block.
+
+    ``response`` is what happens once pressure crosses ``high_water``:
+
+    * ``"oom_crash"``   the node fail-stops (Solana validators during the
+                        NASDAQ peak, §6); per-node ``oom_jitter`` staggers
+                        the crashes;
+    * ``"commit_stall"`` the node stops proposing/committing but stays up
+                        (Diem ceasing to commit, §6);
+    * ``"shed_load"``   admission sheds submissions beyond a small pool
+                        target until pressure drops below ``low_water``
+                        (the chains that survive sustained overload);
+    * ``"none"``        resource exhaustion is not modeled.
+    """
+
+    response: str = "none"
+    high_water: float = 0.9
+    low_water: float = 0.75
+    pool_tx_bytes: int = 4 * 1024
+    consensus_tx_bytes: int = 8 * 1024
+    state_tx_bytes: int = 512
+    oom_jitter: float = 0.05
+    shed_pool_blocks: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.response not in ("oom_crash", "commit_stall", "shed_load",
+                                 "none"):
+            raise ConfigurationError(f"bad overload response {self.response!r}")
+        if not 0 < self.low_water <= self.high_water <= 1.0:
+            raise ConfigurationError(
+                f"need 0 < low_water <= high_water <= 1,"
+                f" got {self.low_water}/{self.high_water}")
+        if min(self.pool_tx_bytes, self.consensus_tx_bytes,
+               self.state_tx_bytes) < 0:
+            raise ConfigurationError("per-transaction bytes cannot be negative")
+        if not 0 <= self.oom_jitter < 0.5:
+            raise ConfigurationError(
+                f"oom_jitter must be in [0, 0.5), got {self.oom_jitter}")
+        if self.shed_pool_blocks <= 0:
+            raise ConfigurationError("shed_pool_blocks must be positive")
+
+
+@dataclass(frozen=True)
 class ChainParams:
     """Everything configurable about one blockchain (Table 4 + §5.2)."""
 
@@ -173,6 +232,8 @@ class ChainParams:
     exec_parallelism: float = 1.0        # execution threads (geth: ~1)
     gossip_hop: float = 0.08             # client tx -> proposer gossip delay
     retry_policy: Optional[RetryPolicy] = None  # client retries (off = 1 shot)
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    overload: OverloadPolicy = field(default_factory=OverloadPolicy)
     perf_model: Callable[[WanProfile], ConsensusPerfModel] = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
@@ -204,9 +265,18 @@ class BlockchainNetwork:
         self.rng = RngFactory(seed).child("chain", params.name)
         self.endpoints: List[Endpoint] = deployment.endpoints(
             prefix=f"{params.name}-node")
+        # per-node memory headroom jitter staggers OOM crashes over time as
+        # pressure rises (validators do not all die at the same instant)
+        if params.overload.response == "oom_crash" and params.overload.oom_jitter:
+            margin_rng = self.rng.stream("overload", "oom-margin")
+            margins = [1.0 + params.overload.oom_jitter
+                       * (2.0 * float(margin_rng.random()) - 1.0)
+                       for _ in self.endpoints]
+        else:
+            margins = [1.0] * len(self.endpoints)
         self.machines: List[Machine] = [
-            Machine(engine, ep, deployment.instance_type)
-            for ep in self.endpoints]
+            Machine(engine, ep, deployment.instance_type, memory_margin=margin)
+            for ep, margin in zip(self.endpoints, margins)]
         self.profile = WanProfile([ep.region for ep in self.endpoints])
         self.model = params.perf_model(self.profile)
         self.vm: VirtualMachine = VM_FACTORIES[params.vm_name]()
@@ -218,6 +288,24 @@ class BlockchainNetwork:
             per_sender_quota=self.scale.capacity(
                 params.mempool_policy.per_sender_quota))
         self.mempool = Mempool(policy)
+        queue_capacity = params.admission.queue_capacity
+        if queue_capacity:
+            queue_capacity = self.scale.capacity(queue_capacity)
+        admission = replace(params.admission, queue_capacity=queue_capacity)
+        self.admission = AdmissionController(self.mempool, admission)
+        # resource-exhaustion model (§6 crash-under-load)
+        self.overload = params.overload
+        for machine in self.machines:
+            machine.memory.high_water = self.overload.high_water
+            machine.memory.low_water = self.overload.low_water
+        self.memory_pressure = 0.0
+        self.peak_memory_pressure = 0.0
+        self.overload_events: List[Dict[str, Any]] = []
+        self._overload_stalled = False
+        self._shedding = False
+        self._admission_processed = 0   # arrivals through the full path
+        self._pipeline_exits = 0        # transactions sealed into blocks
+        self.last_arrival_at: Optional[float] = None
         self.accounts = AccountRegistry(params.signature_scheme,
                                         params.account_limits,
                                         namespace=f"{params.name}-acct")
@@ -335,7 +423,8 @@ class BlockchainNetwork:
         """A client hands *tx* to its collocated node.
 
         The transaction reaches the proposer's pool one gossip hop later;
-        admission control applies the chain's mempool policy. With a
+        admission control applies the chain's mempool policy — including the
+        backpressure front door (load shedding, admission queue). With a
         :class:`RetryPolicy` configured, a rejected submission schedules a
         backed-off client retry instead of dropping immediately; the
         transaction only counts as dropped once its attempts are exhausted.
@@ -349,13 +438,23 @@ class BlockchainNetwork:
             tx.resubmitted_at = now
             tx.retries = attempt - 1
         self._record_arrivals(1)
+        self.last_arrival_at = now
         try:
-            self.mempool.add(tx)
-        except MempoolFullError as exc:
+            self.admission.submit(tx)
+        except NodeOverloadedError as exc:
+            # shed at the door: the node rejected cheaply, before paying the
+            # admission path, so no churn is charged against its memory
+            if self._schedule_retry(tx, attempt):
+                return SubmissionResult(False, str(exc), will_retry=True)
+            self._record_drop(tx, "shed_load")
+            return SubmissionResult(False, str(exc))
+        except (MempoolFullError, BackpressureError) as exc:
+            self._admission_processed += 1
             if self._schedule_retry(tx, attempt):
                 return SubmissionResult(False, str(exc), will_retry=True)
             self._record_drop(tx, type(exc).__name__)
             return SubmissionResult(False, str(exc))
+        self._admission_processed += 1
         if attempt > 1:
             self.retries_succeeded += 1
         self._ensure_production()
@@ -430,6 +529,8 @@ class BlockchainNetwork:
     def _produce_block(self) -> None:
         now = self.engine.now
         self._expire_pool(now)
+        self._update_memory(now)
+        self.admission.drain()
         if not self._quorum_available():
             # the fault schedule took out too many validators (or split
             # them): no side of the network can assemble a commit quorum,
@@ -439,6 +540,14 @@ class BlockchainNetwork:
             self.engine.schedule_after(
                 self.model.next_block_delay(self._last_round_latency),
                 self._produce_block, label=f"{self.params.name}-stalled")
+            return
+        if self._overload_stalled:
+            # commit stall: consensus is thrashing under memory pressure
+            # and stops making progress (Diem under constant 10 kTPS, §6.3)
+            self.stalled_rounds += 1
+            self.engine.schedule_after(
+                self.model.next_block_delay(self._last_round_latency),
+                self._produce_block, label=f"{self.params.name}-memstall")
             return
         backlog = len(self.mempool)
         if backlog == 0:
@@ -473,6 +582,103 @@ class BlockchainNetwork:
                 self._produce_block, label=f"{self.params.name}-retry")
             return
         self._seal_block(batch, backlog)
+
+    # -- resource-exhaustion model (§6 crash-under-load) ---------------------------
+
+    def _update_memory(self, now: float) -> None:
+        """Re-price every node's memory footprint; fire overload responses.
+
+        Three categories, in unscaled units so behaviour is invariant under
+        ``REPRO_SCALE``:
+
+        * ``mempool``    resident pool plus admission queue, priced at the
+                         wire-plus-index cost per pending transaction;
+        * ``consensus``  undecayed backlog debt — every arrival that paid
+                         the full admission path (including pool
+                         rejections, whose churn artifacts linger in
+                         consensus buffers) minus every transaction sealed
+                         into a block;
+        * ``state``      ledger/state growth per committed transaction.
+
+        The validator set replicates the same data, so the levels are
+        identical per node; jittered per-node capacity margins stagger
+        when each crosses its own high-water mark.
+        """
+        overload = self.overload
+        if overload.response == "none":
+            return
+        factor = self.scale.factor
+        pending = (len(self.mempool) + self.admission.queue_depth) / factor
+        debt = max(0, self._admission_processed - self._pipeline_exits) / factor
+        settled = self._pipeline_exits / factor
+        pool_bytes = int(pending * overload.pool_tx_bytes)
+        consensus_bytes = int(debt * overload.consensus_tx_bytes)
+        state_bytes = int(settled * overload.state_tx_bytes)
+        pressure = 0.0
+        for index, machine in enumerate(self.machines):
+            ledger = machine.memory
+            if self._node_available(index):
+                # a crashed node's footprint freezes where it died
+                ledger.set_level("mempool", pool_bytes)
+                ledger.set_level("consensus", consensus_bytes)
+                ledger.set_level("state", state_bytes)
+            pressure = max(pressure, ledger.pressure)
+        self.memory_pressure = pressure
+        self.peak_memory_pressure = max(self.peak_memory_pressure, pressure)
+        if overload.response == "oom_crash":
+            self._respond_oom_crash(now)
+        elif overload.response == "commit_stall":
+            self._respond_commit_stall(now)
+        elif overload.response == "shed_load":
+            self._respond_shed_load(now)
+
+    def _overload_event(self, now: float, kind: str, **extra: Any) -> None:
+        event: Dict[str, Any] = {
+            "at": round(now, 3), "kind": kind, "chain": self.params.name,
+            "pressure": round(self.memory_pressure, 3)}
+        event.update(extra)
+        self.overload_events.append(event)
+
+    def _respond_oom_crash(self, now: float) -> None:
+        """Solana-style: validators past their high-water mark OOM-crash."""
+        for index, machine in enumerate(self.machines):
+            if machine.memory.state != "high":
+                continue
+            if not self._node_available(index):
+                continue
+            if self.injector is None:
+                # overload can crash nodes even without a fault schedule:
+                # the simulation drives the injector itself
+                self.attach_faults(FaultInjector())
+            self.injector.crash(index)
+            self._overload_event(
+                now, "oom_crash", node=machine.name,
+                pressure=round(machine.memory.pressure, 3))
+
+    def _respond_commit_stall(self, now: float) -> None:
+        """Diem-style: consensus stops committing under memory pressure."""
+        high = any(m.memory.state == "high" for m in self.machines)
+        if high and not self._overload_stalled:
+            self._overload_stalled = True
+            self._overload_event(now, "commit_stall")
+        elif not high and self._overload_stalled:
+            self._overload_stalled = False
+            self._overload_event(now, "commit_resumed")
+
+    def _respond_shed_load(self, now: float) -> None:
+        """Survivor-style: shed excess load at the door, keep committing."""
+        high = any(m.memory.state == "high" for m in self.machines)
+        if high and not self._shedding:
+            self._shedding = True
+            target = max(1, int(self.reference_block_txs()
+                                * self.overload.shed_pool_blocks
+                                * self.scale.factor))
+            self.admission.set_shedding(True, target)
+            self._overload_event(now, "shed_start", pool_target=target)
+        elif not high and self._shedding:
+            self._shedding = False
+            self.admission.set_shedding(False)
+            self._overload_event(now, "shed_stop")
 
     def _next_leader(self) -> Tuple[int, int]:
         """(leader index, crashed leaders skipped) for the next block.
@@ -569,6 +775,9 @@ class BlockchainNetwork:
         self._committed_height = max(self._committed_height, final_height)
 
     def _mark_committed(self, tx: Transaction, final_time: float) -> None:
+        # sealed into a finalized block — success or execution failure, the
+        # transaction has left the consensus pipeline and paid off its debt
+        self._pipeline_exits += 1
         receipt = self.receipts.get(tx.uid)
         if receipt is not None and not receipt.ok:
             # the transaction is in a block but its execution failed — the
@@ -620,6 +829,13 @@ class BlockchainNetwork:
         }
         for reason, count in sorted(self.drop_reasons.items()):
             stats[f"dropped_{reason}"] = count
+        for key, value in self.mempool.stats().items():
+            stats[f"mempool_{key}"] = value
+        for key, value in self.admission.stats().items():
+            stats[f"admission_{key}"] = value
+        if self.overload.response != "none":
+            stats["memory_pressure_peak"] = round(self.peak_memory_pressure, 4)
+            stats["overload_events"] = len(self.overload_events)
         if self.params.retry_policy is not None:
             stats["retries_scheduled"] = self.retries_scheduled
             stats["retries_succeeded"] = self.retries_succeeded

@@ -21,7 +21,7 @@ from repro.chain.account import AccountFactoryLimits
 from repro.chain.mempool import MempoolPolicy
 from repro.consensus.models import LeaderBFTPerf, WanProfile
 from repro.crypto.signing import ED25519
-from repro.blockchains.base import ChainParams
+from repro.blockchains.base import ChainParams, OverloadPolicy
 from repro.sim.deployment import DeploymentConfig
 
 BLOCK_TX_LIMIT = 700
@@ -72,4 +72,11 @@ def params(deployment: DeploymentConfig) -> ChainParams:
         commit_api="stream",
         account_limits=limits,
         exec_parallelism=4.0,
+        # under constant 10x load Diem stops committing (§6.3): the bounded
+        # pool keeps the node alive, but pool-management churn (every
+        # rejected submission still pays the admission path) accumulates in
+        # consensus buffers until progress halts
+        overload=OverloadPolicy(
+            response="commit_stall",
+            consensus_tx_bytes=16 * 1024),
         perf_model=_perf)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from repro.chain.mempool import MempoolPolicy
 from repro.consensus.models import CliquePerf, WanProfile
 from repro.crypto.signing import ECDSA
-from repro.blockchains.base import ChainParams
+from repro.blockchains.base import ChainParams, OverloadPolicy
 from repro.sim.deployment import DeploymentConfig
 
 BLOCK_PERIOD = 5.0
@@ -46,4 +46,10 @@ def params(deployment: DeploymentConfig) -> ChainParams:
         confirmation_depth=CONFIRMATIONS,
         commit_api="stream",
         exec_parallelism=1.0,          # geth executes blocks single-threaded
+        # geth survives sustained overload by turning submissions away
+        # cheaply at the txpool door and keeps "committing transactions
+        # until the end of the experiment" (§6.5) — a trickle, but alive
+        overload=OverloadPolicy(
+            response="shed_load",
+            consensus_tx_bytes=16 * 1024),
         perf_model=_perf)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from repro.chain.mempool import MempoolPolicy
 from repro.consensus.models import LeaderBFTPerf, WanProfile
 from repro.crypto.signing import ECDSA
-from repro.blockchains.base import ChainParams
+from repro.blockchains.base import ChainParams, OverloadPolicy
 from repro.sim.deployment import DeploymentConfig
 
 # Quorum genesis files for benchmarking use very large block gas limits;
@@ -58,4 +58,11 @@ def params(deployment: DeploymentConfig) -> ChainParams:
         confirmation_depth=0,          # immediate finality (§6.2)
         commit_api="stream",           # web-socket streaming head (§5.2)
         exec_parallelism=4.0,
+        # never dropping a request means the unbounded pool itself exhausts
+        # memory under constant overload; rounds starve and IBFT stops
+        # committing (the Fig. 4 collapse to zero)
+        overload=OverloadPolicy(
+            response="commit_stall",
+            pool_tx_bytes=16 * 1024,
+            consensus_tx_bytes=8 * 1024),
         perf_model=_perf)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from repro.chain.mempool import MempoolPolicy
 from repro.consensus.models import PoHPerf, WanProfile
 from repro.crypto.signing import ED25519
-from repro.blockchains.base import ChainParams
+from repro.blockchains.base import ChainParams, OverloadPolicy
 from repro.sim.deployment import DeploymentConfig
 
 SLOT_DURATION = 0.4
@@ -51,4 +51,12 @@ def params(deployment: DeploymentConfig) -> ChainParams:
         commit_api="stream",        # commitment-level web-socket subscription
         tx_expiry=BLOCKHASH_MAX_AGE,
         exec_parallelism=6.0,       # Sealevel parallel runtime
+        # Solana validators OOM-crash under sustained saturation (§6: the
+        # NASDAQ peak); the heavy per-transaction artifacts (gossip dedup,
+        # fork/vote bookkeeping, accounts-db growth) dominate
+        overload=OverloadPolicy(
+            response="oom_crash",
+            pool_tx_bytes=8 * 1024,
+            consensus_tx_bytes=32 * 1024,
+            state_tx_bytes=10 * 1024),
         perf_model=_perf)

@@ -1,0 +1,139 @@
+"""Node-side admission control in front of the memory pool.
+
+Real nodes do not hand every wire packet straight to the pool: Solana's TPU
+buffers packets ahead of sigverify, geth parks "future" transactions in a
+queue, and overloaded nodes shed load at the socket before paying the full
+admission path. The :class:`AdmissionController` models that front door:
+
+* while the node is **shedding** (the resource-exhaustion model crossed its
+  high-water mark), submissions beyond a small pool-priming target are
+  rejected with :class:`~repro.common.errors.NodeOverloadedError` — a typed,
+  retryable backpressure signal;
+* pool-capacity rejections can be absorbed by a bounded **admission queue**
+  that drains into the pool as block production frees space; when the queue
+  is also full the original pool error propagates to the client.
+
+Shedding admits just enough traffic to keep the pool primed (a couple of
+blocks deep), so an overloaded-but-alive chain keeps committing at capacity
+while the excess is turned away cheaply — the §6 behaviour of the chains
+that survive sustained overload.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import Transaction
+from repro.common.errors import (
+    ConfigurationError,
+    MempoolFullError,
+    NodeOverloadedError,
+    SenderQuotaError,
+)
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Configuration of the admission path in front of the pool.
+
+    ``queue_capacity``  slots for transactions rejected by a full pool
+                        (0 disables queueing; quota rejections never queue
+                        because the sender's backlog will not clear soon)
+    """
+
+    queue_capacity: int = 0
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 0:
+            raise ConfigurationError(
+                f"queue_capacity cannot be negative: {self.queue_capacity}")
+
+
+class AdmissionController:
+    """Typed admission front door for one node's :class:`Mempool`."""
+
+    def __init__(self, mempool: Mempool,
+                 policy: AdmissionPolicy = AdmissionPolicy()) -> None:
+        self.mempool = mempool
+        self.policy = policy
+        self._queue: Deque[Transaction] = deque()
+        self.shedding = False
+        self.shed_pool_target: Optional[int] = None
+        self.shed_rejections = 0
+        self.queued_total = 0
+        self.drained_total = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- shedding ---------------------------------------------------------------
+
+    def set_shedding(self, shedding: bool,
+                     pool_target: Optional[int] = None) -> None:
+        """Enter/leave load-shedding; *pool_target* primes the pool depth."""
+        self.shedding = shedding
+        self.shed_pool_target = pool_target if shedding else None
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, tx: Transaction) -> str:
+        """Admit *tx*; return ``"admitted"`` or ``"queued"``.
+
+        Raises :class:`NodeOverloadedError` when shedding turns the
+        transaction away at the door, or the pool's own
+        :class:`MempoolFullError` subclass when neither the pool nor the
+        admission queue has room.
+        """
+        if self.shedding:
+            target = self.shed_pool_target
+            if target is None or len(self.mempool) >= target:
+                self.shed_rejections += 1
+                raise NodeOverloadedError(
+                    "node is shedding load under memory pressure")
+        try:
+            self.mempool.add(tx)
+        except SenderQuotaError:
+            raise
+        except MempoolFullError:
+            if len(self._queue) >= self.policy.queue_capacity:
+                raise
+            self._queue.append(tx)
+            self.queued_total += 1
+            return "queued"
+        return "admitted"
+
+    def drain(self) -> int:
+        """Move queued transactions into the pool while it has room."""
+        moved = 0
+        while self._queue:
+            tx = self._queue[0]
+            if self.mempool.would_accept(tx) is not None:
+                break
+            self.mempool.add(tx)
+            self._queue.popleft()
+            moved += 1
+        self.drained_total += moved
+        return moved
+
+    def forget(self, tx: Transaction) -> bool:
+        """Drop *tx* from the admission queue (committed/expired elsewhere)."""
+        try:
+            self._queue.remove(tx)
+        except ValueError:
+            return False
+        return True
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "queued": self.queued_total,
+            "drained": self.drained_total,
+            "queue_depth": len(self._queue),
+            "shed_rejections": self.shed_rejections,
+        }

@@ -11,6 +11,11 @@ Three policies matter in the evaluation:
   saturates and collapses under constant 10 kTPS load (§6.3).
 * **fee-ordered bounded** (Ethereum-style): admission prefers higher fees;
   underpriced transactions linger or are evicted.
+
+Every rejection and eviction path records a typed drop reason in
+:attr:`Mempool.drops`, and resident bytes are tracked alongside resident
+transactions so the resource-exhaustion model (and ``max_bytes`` policies)
+can account for pool memory.
 """
 
 from __future__ import annotations
@@ -19,8 +24,19 @@ from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.common.errors import MempoolFullError, SenderQuotaError
+from repro.common.errors import (
+    MempoolBytesError,
+    MempoolFullError,
+    SenderQuotaError,
+)
 from repro.chain.transaction import Transaction
+
+#: Canonical drop-reason tags recorded by the pool.
+DROP_CAPACITY = "capacity"
+DROP_QUOTA = "sender_quota"
+DROP_BYTES = "bytes"
+DROP_EVICTED = "evicted"
+DROP_EXPIRED = "expired"
 
 
 @dataclass(frozen=True)
@@ -31,12 +47,14 @@ class MempoolPolicy:
     ``per_sender_quota``    maximum pending per signer (None = unbounded)
     ``evict_oldest``        when full, evict the oldest instead of rejecting
     ``fee_ordered``         pop highest-fee transactions first
+    ``max_bytes``           maximum resident wire bytes (None = unbounded)
     """
 
     capacity: Optional[int] = None
     per_sender_quota: Optional[int] = None
     evict_oldest: bool = False
     fee_ordered: bool = False
+    max_bytes: Optional[int] = None
 
 
 class Mempool:
@@ -47,9 +65,11 @@ class Mempool:
         self._pool: "OrderedDict[int, Transaction]" = OrderedDict()
         self._per_sender: Dict[str, int] = defaultdict(int)
         self.admitted = 0
-        self.rejected_full = 0
-        self.rejected_quota = 0
-        self.evicted = 0
+        self.resident_bytes = 0
+        #: per-reason counters for every transaction the pool turned away
+        #: or threw out — the unified record behind ``add``/``try_add``
+        self.drops: Dict[str, int] = {}
+        self.last_drop_reason: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self._pool)
@@ -60,13 +80,52 @@ class Mempool:
     def pending_for(self, sender: str) -> int:
         return self._per_sender.get(sender, 0)
 
+    # -- legacy counter views ---------------------------------------------------
+
+    @property
+    def rejected_full(self) -> int:
+        return self.drops.get(DROP_CAPACITY, 0)
+
+    @property
+    def rejected_quota(self) -> int:
+        return self.drops.get(DROP_QUOTA, 0)
+
+    @property
+    def evicted(self) -> int:
+        return (self.drops.get(DROP_EVICTED, 0)
+                + self.drops.get(DROP_EXPIRED, 0))
+
     # -- admission ---------------------------------------------------------------
+
+    def _count_drop(self, reason: str) -> None:
+        self.drops[reason] = self.drops.get(reason, 0) + 1
+        self.last_drop_reason = reason
+
+    def would_accept(self, tx: Transaction) -> Optional[str]:
+        """Drop reason :meth:`add` would record for *tx*, or None if it fits.
+
+        A pure probe: no counters move and nothing is evicted, so admission
+        front ends can test for room without generating phantom drops.
+        """
+        quota = self.policy.per_sender_quota
+        if quota is not None and self._per_sender[tx.sender] >= quota:
+            return DROP_QUOTA
+        cap = self.policy.capacity
+        if (cap is not None and len(self._pool) >= cap
+                and not self.policy.evict_oldest):
+            return DROP_CAPACITY
+        max_bytes = self.policy.max_bytes
+        if (max_bytes is not None
+                and self.resident_bytes + tx.size > max_bytes
+                and not self.policy.evict_oldest):
+            return DROP_BYTES
+        return None
 
     def add(self, tx: Transaction) -> None:
         """Admit a transaction or raise a :class:`MempoolFullError` subclass."""
         quota = self.policy.per_sender_quota
         if quota is not None and self._per_sender[tx.sender] >= quota:
-            self.rejected_quota += 1
+            self._count_drop(DROP_QUOTA)
             raise SenderQuotaError(
                 f"sender {tx.sender} has {quota} pending transactions")
         cap = self.policy.capacity
@@ -74,15 +133,30 @@ class Mempool:
             if self.policy.evict_oldest:
                 self._evict_one()
             else:
-                self.rejected_full += 1
+                self._count_drop(DROP_CAPACITY)
                 raise MempoolFullError(
                     f"mempool at capacity ({cap} transactions)")
+        max_bytes = self.policy.max_bytes
+        if max_bytes is not None and self.resident_bytes + tx.size > max_bytes:
+            if self.policy.evict_oldest:
+                while (self._pool
+                       and self.resident_bytes + tx.size > max_bytes):
+                    self._evict_one()
+            if self.resident_bytes + tx.size > max_bytes:
+                self._count_drop(DROP_BYTES)
+                raise MempoolBytesError(
+                    f"mempool byte budget exhausted ({max_bytes} bytes)")
         self._pool[tx.uid] = tx
         self._per_sender[tx.sender] += 1
+        self.resident_bytes += tx.size
         self.admitted += 1
 
     def try_add(self, tx: Transaction) -> bool:
-        """Admit a transaction, returning False instead of raising."""
+        """Admit a transaction, returning False instead of raising.
+
+        Rejections are recorded in :attr:`drops` exactly as for :meth:`add`;
+        the reason of the last failure is in :attr:`last_drop_reason`.
+        """
         try:
             self.add(tx)
         except MempoolFullError:
@@ -92,7 +166,8 @@ class Mempool:
     def _evict_one(self) -> None:
         uid, victim = self._pool.popitem(last=False)
         self._per_sender[victim.sender] -= 1
-        self.evicted += 1
+        self.resident_bytes -= victim.size
+        self._count_drop(DROP_EVICTED)
 
     # -- removal ---------------------------------------------------------------
 
@@ -132,6 +207,7 @@ class Mempool:
         for tx in batch:
             del self._pool[tx.uid]
             self._per_sender[tx.sender] -= 1
+            self.resident_bytes -= tx.size
         return batch
 
     def remove(self, tx: Transaction) -> bool:
@@ -140,6 +216,7 @@ class Mempool:
             return False
         del self._pool[tx.uid]
         self._per_sender[tx.sender] -= 1
+        self.resident_bytes -= tx.size
         return True
 
     def drop_expired(self, now: float, max_age: float) -> List[Transaction]:
@@ -158,5 +235,18 @@ class Mempool:
                    and now - age_base(tx) > max_age]
         for tx in expired:
             self.remove(tx)
-        self.evicted += len(expired)
+            self._count_drop(DROP_EXPIRED)
         return expired
+
+    # -- observability -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Admission/drop counters for benchmark results."""
+        stats: Dict[str, int] = {
+            "admitted": self.admitted,
+            "resident": len(self._pool),
+            "resident_bytes": self.resident_bytes,
+        }
+        for reason, count in sorted(self.drops.items()):
+            stats[f"drop_{reason}"] = count
+        return stats

@@ -30,7 +30,11 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.summary import degradation_report, transactions_to_csv
+from repro.analysis.summary import (
+    degradation_report,
+    overload_report,
+    transactions_to_csv,
+)
 from repro.blockchains.registry import CHAIN_NAMES, characteristics_table
 from repro.core.results import BenchmarkResult
 from repro.core.runner import run_benchmark, run_trace
@@ -72,6 +76,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="gzip the JSON output (like diablo --compress)")
     parser.add_argument("--stat", action="store_true",
                         help="print summary statistics to stdout")
+    parser.add_argument("--max-sim-seconds", type=float, default=None,
+                        help="cap total simulated seconds; a run cut short"
+                        " by the cap is marked failed")
+    parser.add_argument("--watchdog-window", type=float, default=30.0,
+                        help="no-commit-progress window (simulated seconds)"
+                        " before the liveness watchdog declares a stall")
 
 
 def _emit(result: BenchmarkResult, output: Optional[Path],
@@ -125,6 +135,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     faults_parser.add_argument("--runtime", type=float, default=90.0,
                                help="workload duration (seconds)")
 
+    overload_parser = commands.add_parser(
+        "overload", help="crash-under-load robustness demo: sustained"
+        " saturation exhausts node memory (§6.3) — Solana-model validators"
+        " OOM-crash, Diem-model consensus stalls, survivors shed load")
+    _add_common(overload_parser)
+    overload_parser.add_argument("--rate", type=float, default=10_000.0,
+                                 help="offered load in TPS (§6.3 uses a"
+                                 " constant 10,000 TPS)")
+    overload_parser.add_argument("--runtime", type=float, default=90.0,
+                                 help="workload duration (seconds)")
+    overload_parser.add_argument("--drain", type=float, default=120.0,
+                                 help="post-load drain budget (seconds)")
+
     commands.add_parser("chains", help="list the evaluated blockchains")
     commands.add_parser("workloads", help="list the built-in workloads")
 
@@ -134,14 +157,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_benchmark(args.chain, args.configuration,
                                args.workload.read_text(),
                                workload_name=args.workload.stem,
-                               scale=args.scale, seed=args.seed)
+                               scale=args.scale, seed=args.seed,
+                               max_sim_seconds=args.max_sim_seconds,
+                               watchdog_window=args.watchdog_window)
         _emit(result, args.output, args.stat, args.compress)
     elif args.command == "suite":
         trace = _available_workloads()[args.workload]
         result = run_trace(args.chain, args.configuration, trace,
                            accounts=args.accounts, scale=args.scale,
-                           seed=args.seed)
+                           seed=args.seed,
+                           max_sim_seconds=args.max_sim_seconds,
+                           watchdog_window=args.watchdog_window)
         _emit(result, args.output, args.stat, args.compress)
+    elif args.command == "overload":
+        spec = simple_spec(
+            TransferSpec(AccountSample(args.accounts)),
+            LoadSchedule.constant(args.rate, args.runtime))
+        result = run_benchmark(args.chain, args.configuration, spec,
+                               workload_name="overload",
+                               scale=args.scale, seed=args.seed,
+                               drain=args.drain,
+                               max_sim_seconds=args.max_sim_seconds,
+                               watchdog_window=args.watchdog_window)
+        _emit(result, args.output, args.stat, args.compress)
+        print(overload_report(result))
     elif args.command == "faults":
         config = get_configuration(args.configuration)
         # f+1 crashed validators deny the n-f commit quorum: the chain
@@ -157,7 +196,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             faults=faults)
         result = run_benchmark(args.chain, args.configuration, spec,
                                workload_name="crash-and-recover",
-                               scale=args.scale, seed=args.seed)
+                               scale=args.scale, seed=args.seed,
+                               max_sim_seconds=args.max_sim_seconds,
+                               watchdog_window=args.watchdog_window)
         _emit(result, args.output, args.stat, args.compress)
         print(degradation_report(result))
     elif args.command == "csv":

@@ -51,6 +51,27 @@ class SenderQuotaError(MempoolFullError):
     """Per-sender mempool quota exceeded (Diem's 100-transaction limit)."""
 
 
+class MempoolBytesError(MempoolFullError):
+    """The pool's resident byte budget is exhausted (size-based rejection)."""
+
+
+class BackpressureError(ChainError):
+    """A node pushed back on a client submission before pool admission.
+
+    Backpressure rejections are transient by construction — the client is
+    expected to back off and retry, so :class:`~repro.blockchains.base.
+    RetryPolicy` treats every subclass as retryable.
+    """
+
+
+class NodeOverloadedError(BackpressureError):
+    """The node is shedding load under memory pressure (§6 overload)."""
+
+
+class AdmissionQueueFullError(BackpressureError):
+    """The node's admission queue (in front of the pool) is full."""
+
+
 class StaleBlockHashError(ChainError):
     """The referenced recent block hash is too old (Solana's 120 s rule)."""
 

@@ -23,11 +23,15 @@ from repro.core.interface import Client, SimConnector
 from repro.core.results import BenchmarkResult, TransactionRecord
 from repro.core.secondary import Secondary
 from repro.core.spec import WorkloadSpec
+from repro.core.watchdog import DEFAULT_WINDOW, LivenessWatchdog
 from repro.sim.deployment import DeploymentConfig, get_configuration
 from repro.sim.engine import Engine
 from repro.sim.faults import FaultInjector
 
 DEFAULT_DRAIN = 240.0
+#: granularity of the drain loop — how often the Primary re-checks the
+#: watchdog before deciding whether simulating further is worthwhile
+DRAIN_CHUNK = 20.0
 
 
 class Primary:
@@ -133,9 +137,23 @@ class Primary:
     # -- the run ------------------------------------------------------------------------
 
     def run(self, spec: WorkloadSpec, workload_name: str = "workload",
-            drain: float = DEFAULT_DRAIN) -> BenchmarkResult:
-        """Provision, dispatch, execute, aggregate."""
+            drain: float = DEFAULT_DRAIN,
+            max_sim_seconds: Optional[float] = None,
+            watchdog_window: float = DEFAULT_WINDOW) -> BenchmarkResult:
+        """Provision, dispatch, execute, aggregate.
+
+        A :class:`~repro.core.watchdog.LivenessWatchdog` guards the run: a
+        chain with pending demand that commits nothing for
+        *watchdog_window* simulated seconds is declared stalled, and the
+        Primary stops simulating (no point draining a dead chain) and marks
+        the result ``failed``. ``max_sim_seconds`` (or the spec's
+        ``deadline``) additionally caps total simulated time — the guard
+        against runaway experiments.
+        """
         duration = spec.duration
+        deadlines = [d for d in (spec.deadline, max_sim_seconds)
+                     if d is not None]
+        deadline = min(deadlines) if deadlines else None
         self._provision(spec)
         self._build_secondaries(spec)
         self._dispatch(spec)
@@ -143,13 +161,49 @@ class Primary:
         if len(schedule):
             self.network.attach_faults(FaultInjector(schedule))
         self.network.active_until = duration
+        watchdog = LivenessWatchdog(self.engine, self.network,
+                                    window=watchdog_window)
         for secondary in self.secondaries:
             secondary.start()
-        self.engine.run(until=duration + drain)
-        return self._aggregate(spec, workload_name, duration)
+        target = duration + drain
+        if deadline is not None:
+            target = min(target, deadline)
+        committed_before = len(self.network.committed)
+        stalled_last_chunk = False
+        while self.engine.now < target:
+            self.engine.run(until=min(self.engine.now + DRAIN_CHUNK, target))
+            committed_now = len(self.network.committed)
+            stalled = watchdog.stalled and committed_now == committed_before
+            if stalled and stalled_last_chunk:
+                # dead for two consecutive chunks: abort the run instead of
+                # simulating the rest of a flat line (a fault healing at a
+                # chunk boundary still gets the next chunk to recover in)
+                break
+            stalled_last_chunk = stalled
+            committed_before = committed_now
+        watchdog.stop()
+        deadline_hit = (deadline is not None and deadline < duration + drain
+                        and self.engine.now >= deadline)
+        if deadline_hit:
+            watchdog.events.append({
+                "at": round(self.engine.now, 3),
+                "kind": "deadline_hit",
+                "deadline": deadline})
+        status = watchdog.finalize()
+        if deadline_hit:
+            status = "failed"
+        elif status == "ok" and self.network.overload_events:
+            # the chain survived, but only by shedding/crashing its way
+            # through overload — not a clean run
+            status = "degraded"
+        return self._aggregate(spec, workload_name, duration,
+                               status=status,
+                               liveness_events=watchdog.events)
 
     def _aggregate(self, spec: WorkloadSpec, workload_name: str,
-                   duration: float) -> BenchmarkResult:
+                   duration: float, status: str = "ok",
+                   liveness_events: Optional[List[Dict]] = None
+                   ) -> BenchmarkResult:
         schedule = spec.fault_schedule()
         result = BenchmarkResult(
             chain=self.chain_name,
@@ -158,7 +212,10 @@ class Primary:
             duration=duration,
             scale=self.scale.factor,
             chain_stats=self.network.stats(),
-            fault_events=schedule.summaries())
+            fault_events=schedule.summaries(),
+            status=status,
+            liveness_events=list(liveness_events or []),
+            overload_events=list(self.network.overload_events))
         for secondary in self.secondaries:
             for tx, client_name in secondary.sent:
                 result.records.append(

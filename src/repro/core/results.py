@@ -73,6 +73,13 @@ class BenchmarkResult:
     #: JSON summaries of the fault schedule applied during the run
     #: (see :func:`repro.sim.faults.event_summary`)
     fault_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: harness verdict: "ok", "degraded" (stalled but recovered, or
+    #: overload responses fired), "failed" (ended stalled / deadline hit)
+    status: str = "ok"
+    #: watchdog stall/resume events on the simulated clock
+    liveness_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: chain-side overload responses (oom_crash / commit_stall / shed_*)
+    overload_events: List[Dict[str, Any]] = field(default_factory=list)
 
     # -- core aggregates (unscaled back to real-experiment units) ----------------
 
@@ -256,6 +263,21 @@ class BenchmarkResult:
             "retries_per_tx": round(self.retries_per_transaction(), 4),
         }
 
+    # -- overload accounting -------------------------------------------------------------
+
+    def crash_events(self) -> List[Dict[str, Any]]:
+        """OOM crashes the resource-exhaustion model fired during the run."""
+        return [e for e in self.overload_events if e["kind"] == "oom_crash"]
+
+    def stalled_at(self) -> Optional[float]:
+        """Start of the stall the run ended in, or None if it kept going."""
+        for event in reversed(self.liveness_events):
+            if event["kind"] == "progress_resumed":
+                return None
+            if event["kind"] == "stall_detected":
+                return event.get("stalled_since", event["at"])
+        return None
+
     # -- abort accounting ----------------------------------------------------------------
 
     def abort_reasons(self) -> Dict[str, int]:
@@ -295,10 +317,15 @@ class BenchmarkResult:
             "commit_ratio": round(self.commit_ratio, 4),
             "aborts": self.abort_reasons(),
             "chain_stats": self.chain_stats,
+            "status": self.status,
         }
         if self.fault_events:
             summary["fault_events"] = self.fault_events
             summary["degradation"] = self.degradation()
+        if self.liveness_events:
+            summary["liveness_events"] = self.liveness_events
+        if self.overload_events:
+            summary["overload_events"] = self.overload_events
         return summary
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -319,7 +346,10 @@ class BenchmarkResult:
             duration=summary["duration"],
             scale=summary["scale"],
             chain_stats=summary.get("chain_stats", {}),
-            fault_events=summary.get("fault_events", []))
+            fault_events=summary.get("fault_events", []),
+            status=summary.get("status", "ok"),
+            liveness_events=summary.get("liveness_events", []),
+            overload_events=summary.get("overload_events", []))
         for raw in payload["transactions"]:
             result.records.append(TransactionRecord(**raw))
         return result

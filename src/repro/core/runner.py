@@ -12,6 +12,7 @@ from typing import Dict, Iterable, List, Optional, Union
 from repro.core.primary import DEFAULT_DRAIN, Primary
 from repro.core.results import BenchmarkResult
 from repro.core.spec import WorkloadSpec, load_spec
+from repro.core.watchdog import DEFAULT_WINDOW
 from repro.sim.deployment import DeploymentConfig
 from repro.workloads.traces import Trace
 
@@ -21,12 +22,16 @@ def run_benchmark(chain: str, deployment: Union[str, DeploymentConfig],
                   workload_name: str = "workload",
                   scale: Optional[float] = None,
                   seed: int = 0,
-                  drain: float = DEFAULT_DRAIN) -> BenchmarkResult:
+                  drain: float = DEFAULT_DRAIN,
+                  max_sim_seconds: Optional[float] = None,
+                  watchdog_window: float = DEFAULT_WINDOW) -> BenchmarkResult:
     """Run one benchmark from a WorkloadSpec (or its YAML text)."""
     if isinstance(spec, str):
         spec = load_spec(spec)
     primary = Primary(chain, deployment, scale=scale, seed=seed)
-    return primary.run(spec, workload_name=workload_name, drain=drain)
+    return primary.run(spec, workload_name=workload_name, drain=drain,
+                       max_sim_seconds=max_sim_seconds,
+                       watchdog_window=watchdog_window)
 
 
 def run_trace(chain: str, deployment: Union[str, DeploymentConfig],
@@ -35,12 +40,16 @@ def run_trace(chain: str, deployment: Union[str, DeploymentConfig],
               clients: int = 1,
               scale: Optional[float] = None,
               seed: int = 0,
-              drain: float = DEFAULT_DRAIN) -> BenchmarkResult:
+              drain: float = DEFAULT_DRAIN,
+              max_sim_seconds: Optional[float] = None,
+              watchdog_window: float = DEFAULT_WINDOW) -> BenchmarkResult:
     """Run one of the workload-suite traces against a chain."""
     spec = trace.spec(accounts=accounts, clients=clients)
     return run_benchmark(chain, deployment, spec,
                          workload_name=trace.name,
-                         scale=scale, seed=seed, drain=drain)
+                         scale=scale, seed=seed, drain=drain,
+                         max_sim_seconds=max_sim_seconds,
+                         watchdog_window=watchdog_window)
 
 
 def run_matrix(chains: Iterable[str],

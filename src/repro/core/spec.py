@@ -233,14 +233,21 @@ class WorkloadSpec:
     and recoveries, partitions, region outages, link degradation) applied
     to the chain's validators while the workload runs — see
     :mod:`repro.sim.faults` for the event vocabulary and the YAML syntax.
+
+    ``deadline`` is an optional cap on total simulated seconds (load plus
+    drain): a run that would outlive it is cut short and marked ``failed``
+    — the guard against overloaded chains that never drain.
     """
 
     workloads: Tuple[WorkloadGroup, ...]
     faults: Tuple[FaultEvent, ...] = ()
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.workloads:
             raise SpecError("a workload spec needs at least one workload")
+        if self.deadline is not None and self.deadline <= 0:
+            raise SpecError(f"deadline must be positive: {self.deadline}")
         # validate eagerly so a bad schedule fails at parse time
         FaultSchedule(self.faults)
 
@@ -374,7 +381,14 @@ def spec_from_dict(document: Dict[str, Any]) -> WorkloadSpec:
     if raw_faults and not isinstance(raw_faults, (list, tuple)):
         raise SpecError("'faults' must be a list of fault events")
     faults = events_from_dicts(raw_faults) if raw_faults else ()
-    return WorkloadSpec(tuple(groups), faults=faults)
+    raw_deadline = document.get("deadline")
+    if raw_deadline is not None:
+        try:
+            raw_deadline = float(raw_deadline)
+        except (TypeError, ValueError):
+            raise SpecError(
+                f"'deadline' must be a number, got {raw_deadline!r}") from None
+    return WorkloadSpec(tuple(groups), faults=faults, deadline=raw_deadline)
 
 
 def load_spec(text: str) -> WorkloadSpec:
@@ -388,7 +402,8 @@ def load_spec(text: str) -> WorkloadSpec:
 def simple_spec(interaction: Interaction, load: LoadSchedule,
                 clients: int = 1, location: str = ".*",
                 view: str = ".*",
-                faults: Tuple[FaultEvent, ...] = ()) -> WorkloadSpec:
+                faults: Tuple[FaultEvent, ...] = (),
+                deadline: Optional[float] = None) -> WorkloadSpec:
     """Programmatic shorthand: one workload group, one behaviour."""
     return WorkloadSpec((WorkloadGroup(
         number=clients,
@@ -396,4 +411,4 @@ def simple_spec(interaction: Interaction, load: LoadSchedule,
             location=LocationSample((location,)),
             view=EndpointSample((view,)),
             behaviors=(Behavior(interaction, load),))),),
-        faults=faults)
+        faults=faults, deadline=deadline)

@@ -6,6 +6,13 @@ submit jobs measured in CPU-seconds and the machine tells them when the work
 completes given its parallelism. This is what makes the datacenter
 configuration (36 vCPUs) execute signature checks and contract code faster
 than the testnet configuration (4 vCPUs), reproducing the §6.2 effects.
+
+Memory is tracked by a per-machine :class:`MemoryLedger` with named
+categories (mempool bytes, undecayed consensus backlog, ledger/state
+growth). The ledger reports memory *pressure* against the instance type's
+RAM with high/low-water hysteresis — the signal the blockchain runtimes
+turn into the §6 overload responses (Solana validators OOM-crashing under
+the NASDAQ peak, Diem ceasing to commit).
 """
 
 from __future__ import annotations
@@ -49,6 +56,86 @@ INSTANCE_TYPES: Dict[str, InstanceType] = {
 }
 
 
+class MemoryLedger:
+    """Categorised memory accounting for one machine, with hysteresis.
+
+    Consumers charge bytes against named categories (``mempool``,
+    ``consensus``, ``state``, ...) either incrementally (:meth:`charge` /
+    :meth:`release`) or absolutely (:meth:`set_level`, what the blockchain
+    runtimes do each production round). :attr:`pressure` is total usage
+    over capacity; :attr:`state` is ``"ok"`` until pressure crosses
+    ``high_water`` and returns to ``"ok"`` only below ``low_water`` — the
+    hysteresis keeps overload responses from flapping at the threshold.
+    """
+
+    def __init__(self, capacity: int, high_water: float = 0.9,
+                 low_water: float = 0.75) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive: {capacity}")
+        if not 0 < low_water <= high_water <= 1.0:
+            raise ConfigurationError(
+                f"need 0 < low_water <= high_water <= 1,"
+                f" got {low_water}/{high_water}")
+        self.capacity = capacity
+        self.high_water = high_water
+        self.low_water = low_water
+        self._categories: Dict[str, int] = {}
+        self._high = False
+        self.peak_pressure = 0.0
+        self.high_water_crossings = 0
+
+    def charge(self, category: str, nbytes: int) -> None:
+        """Add *nbytes* to *category* (negative amounts are an error)."""
+        if nbytes < 0:
+            raise SimulationError(f"negative charge {nbytes} ({category})")
+        self.set_level(category, self._categories.get(category, 0) + nbytes)
+
+    def release(self, category: str, nbytes: int) -> None:
+        """Subtract *nbytes* from *category*, clamping at zero."""
+        if nbytes < 0:
+            raise SimulationError(f"negative release {nbytes} ({category})")
+        current = self._categories.get(category, 0)
+        self.set_level(category, max(0, current - nbytes))
+
+    def set_level(self, category: str, nbytes: int) -> None:
+        """Set *category*'s resident bytes to an absolute level."""
+        if nbytes < 0:
+            raise SimulationError(f"negative level {nbytes} ({category})")
+        self._categories[category] = nbytes
+        self._update_state()
+
+    def level(self, category: str) -> int:
+        return self._categories.get(category, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self._categories.values())
+
+    @property
+    def pressure(self) -> float:
+        """Resident bytes over capacity (can exceed 1.0: overcommit)."""
+        return self.total / self.capacity
+
+    @property
+    def state(self) -> str:
+        """``"high"`` once past the high-water mark, until below low water."""
+        return "high" if self._high else "ok"
+
+    def _update_state(self) -> None:
+        pressure = self.pressure
+        self.peak_pressure = max(self.peak_pressure, pressure)
+        if not self._high and pressure >= self.high_water:
+            self._high = True
+            self.high_water_crossings += 1
+        elif self._high and pressure < self.low_water:
+            self._high = False
+
+    def breakdown(self) -> Dict[str, int]:
+        """Resident bytes per category (non-zero categories only)."""
+        return {name: size for name, size in sorted(self._categories.items())
+                if size > 0}
+
+
 class Machine:
     """A machine running in a region, executing CPU jobs.
 
@@ -59,12 +146,18 @@ class Machine:
     """
 
     def __init__(self, engine: Engine, endpoint: Endpoint,
-                 instance_type: InstanceType) -> None:
+                 instance_type: InstanceType,
+                 memory_margin: float = 1.0) -> None:
+        """*memory_margin* scales the usable RAM (per-node OOM jitter)."""
+        if memory_margin <= 0:
+            raise ConfigurationError(
+                f"memory_margin must be positive: {memory_margin}")
         self.engine = engine
         self.endpoint = endpoint
         self.instance_type = instance_type
         self._core_free_at = [0.0] * instance_type.vcpus
-        self._memory_used = 0
+        self.memory = MemoryLedger(
+            max(1, int(instance_type.memory * memory_margin)))
         self.cpu_seconds_total = 0.0
         self.jobs_executed = 0
 
@@ -80,23 +173,25 @@ class Machine:
 
     @property
     def memory_used(self) -> int:
-        return self._memory_used
+        return self.memory.total
 
     @property
     def memory_available(self) -> int:
-        return self.instance_type.memory - self._memory_used
+        return self.memory.capacity - self.memory.total
 
     def allocate(self, size: int) -> bool:
-        """Reserve memory; return False when it does not fit."""
+        """Reserve general-purpose memory; return False when it does not fit."""
         if size < 0:
             raise SimulationError(f"negative allocation {size}")
-        if self._memory_used + size > self.instance_type.memory:
+        if self.memory.total + size > self.memory.capacity:
             return False
-        self._memory_used += size
+        self.memory.charge("general", size)
         return True
 
     def release(self, size: int) -> None:
-        self._memory_used = max(0, self._memory_used - size)
+        if size < 0:
+            raise SimulationError(f"negative release {size}")
+        self.memory.release("general", size)
 
     # -- CPU ----------------------------------------------------------------------
 

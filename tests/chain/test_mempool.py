@@ -4,9 +4,21 @@ from __future__ import annotations
 
 import pytest
 
-from repro.chain.mempool import Mempool, MempoolPolicy
+from repro.chain.mempool import (
+    DROP_BYTES,
+    DROP_CAPACITY,
+    DROP_EVICTED,
+    DROP_EXPIRED,
+    DROP_QUOTA,
+    Mempool,
+    MempoolPolicy,
+)
 from repro.chain.transaction import transfer
-from repro.common.errors import MempoolFullError, SenderQuotaError
+from repro.common.errors import (
+    MempoolBytesError,
+    MempoolFullError,
+    SenderQuotaError,
+)
 
 
 def make_txs(n, sender="alice", gas_limit=21_000):
@@ -66,6 +78,133 @@ class TestAdmission:
         tx = transfer("a", "b")
         pool.add(tx)
         assert tx in pool
+
+
+class TestDropReasons:
+    def test_add_and_try_add_share_counters(self):
+        # satellite: the raising and bool paths record the same reasons
+        pool = Mempool(MempoolPolicy(capacity=1))
+        pool.add(transfer("a", "b"))
+        with pytest.raises(MempoolFullError):
+            pool.add(transfer("a", "b"))
+        assert not pool.try_add(transfer("a", "b"))
+        assert pool.drops == {DROP_CAPACITY: 2}
+        assert pool.last_drop_reason == DROP_CAPACITY
+
+    def test_every_reason_is_tagged(self):
+        pool = Mempool(MempoolPolicy(capacity=2, per_sender_quota=1))
+        pool.add(transfer("a", "b"))
+        with pytest.raises(SenderQuotaError):
+            pool.add(transfer("a", "b"))
+        pool.add(transfer("c", "b"))
+        with pytest.raises(MempoolFullError):
+            pool.add(transfer("d", "b"))
+        assert pool.drops == {DROP_QUOTA: 1, DROP_CAPACITY: 1}
+
+    def test_stats_exposes_per_reason_counts(self):
+        pool = Mempool(MempoolPolicy(capacity=1))
+        tx = transfer("a", "b")
+        pool.add(tx)
+        pool.try_add(transfer("a", "b"))
+        stats = pool.stats()
+        assert stats["admitted"] == 1
+        assert stats["resident"] == 1
+        assert stats["resident_bytes"] == tx.size
+        assert stats[f"drop_{DROP_CAPACITY}"] == 1
+
+    def test_would_accept_is_a_pure_probe(self):
+        pool = Mempool(MempoolPolicy(capacity=1))
+        pool.add(transfer("a", "b"))
+        probe = transfer("a", "b")
+        assert pool.would_accept(probe) == DROP_CAPACITY
+        assert pool.drops == {}   # no phantom drop recorded
+        pool.pop_batch()
+        assert pool.would_accept(probe) is None
+
+    def test_legacy_views_read_the_unified_counters(self):
+        pool = Mempool(MempoolPolicy(capacity=1, per_sender_quota=2))
+        pool.add(transfer("a", "b"))
+        pool.try_add(transfer("c", "b"))
+        assert pool.rejected_full == 1
+        pool.drop_expired(now=1e9, max_age=1.0)
+
+
+class TestByteAccounting:
+    def test_resident_bytes_tracks_add_and_pop(self):
+        pool = Mempool()
+        txs = make_txs(4)
+        for tx in txs:
+            pool.add(tx)
+        size = txs[0].size
+        assert pool.resident_bytes == 4 * size
+        pool.pop_batch(max_count=3)
+        assert pool.resident_bytes == size
+
+    def test_remove_releases_bytes(self):
+        pool = Mempool()
+        tx = transfer("a", "b", extra_size=500)
+        pool.add(tx)
+        pool.remove(tx)
+        assert pool.resident_bytes == 0
+
+    def test_max_bytes_rejects_when_exhausted(self):
+        small = transfer("a", "b")
+        pool = Mempool(MempoolPolicy(max_bytes=small.size))
+        pool.add(small)
+        with pytest.raises(MempoolBytesError):
+            pool.add(transfer("a", "b"))
+        assert pool.drops == {DROP_BYTES: 1}
+
+    def test_max_bytes_error_is_a_mempool_full_error(self):
+        # clients treat byte exhaustion like any pool-full rejection
+        assert issubclass(MempoolBytesError, MempoolFullError)
+
+    def test_evict_oldest_frees_bytes_for_large_tx(self):
+        unit = transfer("a", "b").size
+        pool = Mempool(MempoolPolicy(max_bytes=4 * unit, evict_oldest=True))
+        for tx in make_txs(3):
+            pool.add(tx)
+        big = transfer("a", "b", extra_size=unit)   # needs 2 slots
+        pool.add(big)
+        assert big in pool
+        assert pool.resident_bytes <= 4 * unit
+        assert pool.drops[DROP_EVICTED] == 1
+
+    def test_oversized_tx_rejected_even_after_evicting_all(self):
+        unit = transfer("a", "b").size
+        pool = Mempool(MempoolPolicy(max_bytes=2 * unit, evict_oldest=True))
+        pool.add(transfer("a", "b"))
+        with pytest.raises(MempoolBytesError):
+            pool.add(transfer("a", "b", extra_size=10 * unit))
+
+    def test_drop_expired_releases_bytes(self):
+        # satellite: expiry and byte accounting interact correctly
+        pool = Mempool(MempoolPolicy(max_bytes=1 << 20))
+        old = transfer("a", "b", extra_size=100)
+        old.submitted_at = 0.0
+        fresh = transfer("a", "b")
+        fresh.submitted_at = 100.0
+        pool.add(old)
+        pool.add(fresh)
+        pool.drop_expired(now=130.0, max_age=120.0)
+        assert pool.resident_bytes == fresh.size
+        assert pool.drops == {DROP_EXPIRED: 1}
+        # evicted property folds evictions and expiries together (legacy)
+        assert pool.evicted == 1
+
+    def test_eviction_after_expiry_keeps_bytes_consistent(self):
+        unit = transfer("a", "b").size
+        pool = Mempool(MempoolPolicy(capacity=2, evict_oldest=True))
+        old = transfer("a", "b")
+        old.submitted_at = 0.0
+        pool.add(old)
+        pool.drop_expired(now=200.0, max_age=120.0)
+        for tx in make_txs(3):
+            tx.submitted_at = 200.0
+            pool.add(tx)
+        assert len(pool) == 2
+        assert pool.resident_bytes == 2 * unit
+        assert pool.drops == {DROP_EXPIRED: 1, DROP_EVICTED: 1}
 
 
 class TestPopBatch:

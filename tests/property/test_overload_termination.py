@@ -1,0 +1,56 @@
+"""Property: every chain terminates cleanly under 10x saturation load.
+
+The resource-exhaustion model must never wedge the harness: whatever a
+chain's configured overload response (OOM crash, commit stall, shedding,
+or none), a saturating run must come back with a well-formed result — the
+watchdog and deadline machinery bound the run even when the chain itself
+stops making progress.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockchains.registry import CHAIN_NAMES
+from repro.core.runner import run_benchmark
+from repro.core.spec import (
+    AccountSample,
+    LoadSchedule,
+    TransferSpec,
+    simple_spec,
+)
+
+#: roughly 10x the fastest chain's sustainable rate at scale 0.02
+SATURATION_TPS = 20_000
+
+
+def saturating_spec():
+    return simple_spec(TransferSpec(AccountSample(200)),
+                       LoadSchedule.constant(SATURATION_TPS, 20.0))
+
+
+class TestSaturationTermination:
+    @settings(max_examples=6, deadline=None)
+    @given(chain=st.sampled_from(CHAIN_NAMES),
+           seed=st.integers(min_value=0, max_value=3))
+    def test_every_chain_terminates_with_well_formed_result(self, chain,
+                                                            seed):
+        result = run_benchmark(chain, "testnet", saturating_spec(),
+                               workload_name="saturation",
+                               scale=0.02, seed=seed, drain=60.0,
+                               max_sim_seconds=300.0)
+        assert result.status in {"ok", "degraded", "failed"}
+        summary = result.summary()
+        json.dumps(summary)   # must be serialisable, no NaN/objects
+        assert summary["submitted"] > 0
+        assert summary["average_throughput_tps"] >= 0
+        # every overload event carries a finite timestamp and a kind
+        for event in result.overload_events:
+            assert event["at"] >= 0.0
+            assert event["kind"]
+        # a failed run must explain itself via watchdog or deadline events
+        if result.status == "failed":
+            assert result.liveness_events

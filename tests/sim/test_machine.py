@@ -13,6 +13,7 @@ from repro.sim.machine import (
     INSTANCE_TYPES,
     InstanceType,
     Machine,
+    MemoryLedger,
 )
 from repro.sim.network import Endpoint
 
@@ -106,6 +107,83 @@ class TestMemory:
     def test_negative_allocation_rejected(self, machine):
         with pytest.raises(SimulationError):
             machine.allocate(-1)
+
+
+class TestMemoryLedger:
+    def test_charge_release_and_levels(self):
+        ledger = MemoryLedger(1000)
+        ledger.charge("mempool", 300)
+        ledger.charge("mempool", 200)
+        ledger.charge("state", 100)
+        assert ledger.level("mempool") == 500
+        assert ledger.total == 600
+        ledger.release("mempool", 450)
+        assert ledger.level("mempool") == 50
+        assert ledger.breakdown() == {"mempool": 50, "state": 100}
+
+    def test_release_clamps_at_zero(self):
+        ledger = MemoryLedger(1000)
+        ledger.charge("x", 10)
+        ledger.release("x", 100)
+        assert ledger.level("x") == 0
+
+    def test_set_level_is_absolute(self):
+        ledger = MemoryLedger(1000)
+        ledger.set_level("consensus", 700)
+        ledger.set_level("consensus", 200)
+        assert ledger.level("consensus") == 200
+
+    def test_pressure_can_exceed_one(self):
+        ledger = MemoryLedger(100)
+        ledger.set_level("x", 250)
+        assert ledger.pressure == pytest.approx(2.5)
+
+    def test_hysteresis_between_water_marks(self):
+        ledger = MemoryLedger(100, high_water=0.9, low_water=0.75)
+        ledger.set_level("x", 89)
+        assert ledger.state == "ok"
+        ledger.set_level("x", 90)
+        assert ledger.state == "high"
+        # between low and high water: stays high (no flapping)
+        ledger.set_level("x", 80)
+        assert ledger.state == "high"
+        ledger.set_level("x", 74)
+        assert ledger.state == "ok"
+        assert ledger.high_water_crossings == 1
+
+    def test_peak_pressure_is_sticky(self):
+        ledger = MemoryLedger(100)
+        ledger.set_level("x", 95)
+        ledger.set_level("x", 10)
+        assert ledger.peak_pressure == pytest.approx(0.95)
+
+    def test_negative_amounts_rejected(self):
+        ledger = MemoryLedger(100)
+        with pytest.raises(SimulationError):
+            ledger.charge("x", -1)
+        with pytest.raises(SimulationError):
+            ledger.release("x", -1)
+        with pytest.raises(SimulationError):
+            ledger.set_level("x", -1)
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLedger(0)
+        with pytest.raises(ConfigurationError):
+            MemoryLedger(100, high_water=0.5, low_water=0.9)
+
+    def test_machine_memory_margin_scales_capacity(self, engine):
+        small = Machine(engine, Endpoint("m", "ohio"), C5_XLARGE,
+                        memory_margin=0.5)
+        assert small.memory.capacity == C5_XLARGE.memory // 2
+        with pytest.raises(ConfigurationError):
+            Machine(engine, Endpoint("m", "ohio"), C5_XLARGE,
+                    memory_margin=0.0)
+
+    def test_legacy_allocate_backed_by_ledger(self, engine, machine):
+        machine.allocate(4096)
+        assert machine.memory.level("general") == 4096
+        assert machine.memory_available == machine.memory.capacity - 4096
 
 
 class TestUtilization:
