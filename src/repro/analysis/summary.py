@@ -18,8 +18,21 @@ from repro.core.results import BenchmarkResult
 CSV_COLUMNS = (
     "chain", "configuration", "workload", "submitted", "committed",
     "average_load_tps", "average_throughput_tps", "average_latency_s",
-    "median_latency_s", "commit_ratio",
+    "median_latency_s", "p95_latency_s", "p99_latency_s", "commit_ratio",
 )
+
+#: metric names computed from the result object rather than read out of
+#: ``summary()`` (tail latencies are analysis-side: adding them to the
+#: summary would change the serialized result format)
+_COMPUTED_METRICS = {
+    "p95_latency_s": lambda result: result.latency_percentile(95),
+    "p99_latency_s": lambda result: result.latency_percentile(99),
+}
+
+
+def _tail_latency(result: BenchmarkResult, q: float) -> Optional[float]:
+    value = result.latency_percentile(q)
+    return None if np.isnan(value) else round(value, 3)
 
 
 def results_to_csv(results: Iterable[BenchmarkResult]) -> str:
@@ -39,6 +52,8 @@ def results_to_csv(results: Iterable[BenchmarkResult]) -> str:
             "average_throughput_tps": summary["average_throughput_tps"],
             "average_latency_s": summary["average_latency_s"],
             "median_latency_s": summary["median_latency_s"],
+            "p95_latency_s": _tail_latency(result, 95),
+            "p99_latency_s": _tail_latency(result, 99),
             "commit_ratio": summary["commit_ratio"],
         })
     return buffer.getvalue()
@@ -66,14 +81,25 @@ def transactions_to_csv(result: BenchmarkResult) -> str:
 def comparison_table(results: Dict[str, BenchmarkResult],
                      metrics: Sequence[str] = ("average_throughput_tps",
                                                "average_latency_s",
+                                               "p95_latency_s",
+                                               "p99_latency_s",
                                                "commit_ratio")) -> List[Dict]:
-    """Rows comparing chains on the same workload (a figure's bars)."""
+    """Rows comparing chains on the same workload (a figure's bars).
+
+    ``metrics`` may name any ``summary()`` key plus the computed tail
+    latencies ``p95_latency_s``/``p99_latency_s``.
+    """
     rows = []
     for chain, result in sorted(results.items()):
         summary = result.summary()
         row = {"chain": chain}
         for metric in metrics:
-            row[metric] = summary[metric]
+            computed = _COMPUTED_METRICS.get(metric)
+            if computed is not None:
+                value = computed(result)
+                row[metric] = None if np.isnan(value) else round(value, 3)
+            else:
+                row[metric] = summary[metric]
         rows.append(row)
     return rows
 

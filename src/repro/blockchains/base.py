@@ -57,6 +57,8 @@ from repro.consensus.models import (
     WanProfile,
 )
 from repro.crypto.signing import ECDSA, SignatureScheme
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullTracer
 from repro.sim.deployment import DeploymentConfig
 from repro.sim.engine import Engine
 from repro.sim.faults import FaultInjector
@@ -274,8 +276,13 @@ class BlockchainNetwork:
                        for _ in self.endpoints]
         else:
             margins = [1.0] * len(self.endpoints)
+        #: experiment-wide metrics registry: the pool, admission front door,
+        #: validator machines and the chain's own counters all register here
+        #: so one sampler pass sees the whole chain under dotted names
+        self.metrics = MetricsRegistry()
         self.machines: List[Machine] = [
-            Machine(engine, ep, deployment.instance_type, memory_margin=margin)
+            Machine(engine, ep, deployment.instance_type, memory_margin=margin,
+                    metrics=self.metrics.namespace(f"machine.{ep.name}"))
             for ep, margin in zip(self.endpoints, margins)]
         self.profile = WanProfile([ep.region for ep in self.endpoints])
         self.model = params.perf_model(self.profile)
@@ -287,12 +294,15 @@ class BlockchainNetwork:
             capacity=self.scale.capacity(params.mempool_policy.capacity),
             per_sender_quota=self.scale.capacity(
                 params.mempool_policy.per_sender_quota))
-        self.mempool = Mempool(policy)
+        self.mempool = Mempool(policy,
+                               metrics=self.metrics.namespace("mempool"))
         queue_capacity = params.admission.queue_capacity
         if queue_capacity:
             queue_capacity = self.scale.capacity(queue_capacity)
         admission = replace(params.admission, queue_capacity=queue_capacity)
-        self.admission = AdmissionController(self.mempool, admission)
+        self.admission = AdmissionController(
+            self.mempool, admission,
+            metrics=self.metrics.namespace("admission"))
         # resource-exhaustion model (§6 crash-under-load)
         self.overload = params.overload
         for machine in self.machines:
@@ -334,18 +344,72 @@ class BlockchainNetwork:
         self.receipts: Dict[int, Receipt] = {}
         self.committed: List[Transaction] = []
         self.dropped: List[Transaction] = []
-        self.drop_reasons: Dict[str, int] = {}
-        self.blocks_failed = 0
-        self.view_changes_total = 0
+        # chain-level counters live in the shared registry (legacy attribute
+        # names remain available as read-only properties below)
+        chain_metrics = self.metrics.namespace("chain")
+        self._chain_metrics = chain_metrics
+        self._blocks_failed = chain_metrics.counter("blocks_failed")
+        self._view_changes = chain_metrics.counter("view_changes")
+        chain_metrics.gauge("height", supplier=lambda: self.ledger.height)
+        chain_metrics.gauge("committed_total",
+                            supplier=lambda: len(self.committed))
+        chain_metrics.gauge("dropped_total",
+                            supplier=lambda: len(self.dropped))
+        chain_metrics.gauge("memory_pressure",
+                            supplier=lambda: self.memory_pressure)
         self._committed_height = 0
         self._commit_listeners: List[Callable[[Transaction], None]] = []
         # fault injection + client retries
         self.injector: Optional[FaultInjector] = None
-        self.stalled_rounds = 0   # production rounds skipped: no live quorum
+        # production rounds skipped: no live quorum
+        self._stalled_rounds = chain_metrics.counter("stalled_rounds")
         self._retry_rng = self.rng.stream("client", "retry-jitter")
         self._attempts: Dict[int, int] = {}
-        self.retries_scheduled = 0
-        self.retries_succeeded = 0
+        self._retries_scheduled = chain_metrics.counter("retries_scheduled")
+        self._retries_succeeded = chain_metrics.counter("retries_succeeded")
+        #: lifecycle tracer; None = tracing fully off (the default), every
+        #: hook site is guarded so the untraced path does no extra work
+        self.tracer: Optional[NullTracer] = None
+
+    # -- registry views -------------------------------------------------------------
+
+    @property
+    def drop_reasons(self) -> Dict[str, int]:
+        """Per-reason counts of client-visible drops."""
+        return self._chain_metrics.counters_with_prefix("drops")
+
+    @property
+    def blocks_failed(self) -> int:
+        return self._blocks_failed.value
+
+    @property
+    def view_changes_total(self) -> int:
+        return self._view_changes.value
+
+    @property
+    def stalled_rounds(self) -> int:
+        return self._stalled_rounds.value
+
+    @property
+    def retries_scheduled(self) -> int:
+        return self._retries_scheduled.value
+
+    @property
+    def retries_succeeded(self) -> int:
+        return self._retries_succeeded.value
+
+    # -- tracing --------------------------------------------------------------------
+
+    def attach_tracer(self, tracer: NullTracer) -> None:
+        """Attach a lifecycle tracer to this chain's pipeline.
+
+        Also hooks the admission queue's drain path so transactions that
+        enter the pool from the backpressure queue get their admission
+        timestamp (direct admits are stamped in :meth:`submit`).
+        """
+        self.tracer = tracer
+        self.admission.on_admit = (
+            lambda tx: tracer.tx_admitted(tx, self.engine.now))
 
     # -- fault injection ----------------------------------------------------------
 
@@ -439,24 +503,38 @@ class BlockchainNetwork:
             tx.retries = attempt - 1
         self._record_arrivals(1)
         self.last_arrival_at = now
+        if self.tracer is not None:
+            self.tracer.tx_submit(tx, now, attempt)
         try:
-            self.admission.submit(tx)
+            status = self.admission.submit(tx)
         except NodeOverloadedError as exc:
             # shed at the door: the node rejected cheaply, before paying the
             # admission path, so no churn is charged against its memory
-            if self._schedule_retry(tx, attempt):
+            will_retry = self._schedule_retry(tx, attempt)
+            if self.tracer is not None:
+                self.tracer.tx_rejected(tx, now, "shed_load", will_retry)
+            if will_retry:
                 return SubmissionResult(False, str(exc), will_retry=True)
             self._record_drop(tx, "shed_load")
             return SubmissionResult(False, str(exc))
         except (MempoolFullError, BackpressureError) as exc:
             self._admission_processed += 1
-            if self._schedule_retry(tx, attempt):
+            will_retry = self._schedule_retry(tx, attempt)
+            if self.tracer is not None:
+                self.tracer.tx_rejected(tx, now, type(exc).__name__,
+                                        will_retry)
+            if will_retry:
                 return SubmissionResult(False, str(exc), will_retry=True)
             self._record_drop(tx, type(exc).__name__)
             return SubmissionResult(False, str(exc))
         self._admission_processed += 1
         if attempt > 1:
-            self.retries_succeeded += 1
+            self._retries_succeeded.inc()
+        if self.tracer is not None:
+            if status == "queued":
+                self.tracer.tx_queued(tx, now)
+            else:
+                self.tracer.tx_admitted(tx, now)
         self._ensure_production()
         return SubmissionResult(True)
 
@@ -470,7 +548,9 @@ class BlockchainNetwork:
         tx.aborted = True
         tx.abort_reason = reason
         self.dropped.append(tx)
-        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        self._chain_metrics.counter(f"drops.{reason}").inc()
+        if self.tracer is not None:
+            self.tracer.tx_dropped(tx, self.engine.now, reason)
 
     # -- client retries -----------------------------------------------------------
 
@@ -480,7 +560,7 @@ class BlockchainNetwork:
         if policy is None or attempt >= policy.max_attempts:
             return False
         delay = policy.backoff(attempt, self._retry_rng)
-        self.retries_scheduled += 1
+        self._retries_scheduled.inc()
         self.engine.schedule_after(delay, lambda: self._retry(tx),
                                    label=f"{self.params.name}-retry")
         return True
@@ -536,7 +616,7 @@ class BlockchainNetwork:
             # them): no side of the network can assemble a commit quorum,
             # so the chain stalls — the §6.3/§6.5 availability dip.
             # Transactions keep queueing (or expiring) in the mempool.
-            self.stalled_rounds += 1
+            self._stalled_rounds.inc()
             self.engine.schedule_after(
                 self.model.next_block_delay(self._last_round_latency),
                 self._produce_block, label=f"{self.params.name}-stalled")
@@ -544,7 +624,7 @@ class BlockchainNetwork:
         if self._overload_stalled:
             # commit stall: consensus is thrashing under memory pressure
             # and stops making progress (Diem under constant 10 kTPS, §6.3)
-            self.stalled_rounds += 1
+            self._stalled_rounds.inc()
             self.engine.schedule_after(
                 self.model.next_block_delay(self._last_round_latency),
                 self._produce_block, label=f"{self.params.name}-memstall")
@@ -718,18 +798,25 @@ class BlockchainNetwork:
             leader_region=leader.region,
             arrival_rate=self.arrival_rate())
         outcome = self.model.decide(attempt)
-        self.view_changes_total += outcome.view_changes + skipped
+        self._view_changes.inc(outcome.view_changes + skipped)
         latency = outcome.latency + skipped * max(self._last_round_latency, 0.5)
         self._last_round_latency = max(latency, 1e-3)
+        bid = -1
+        if self.tracer is not None:
+            bid = self.tracer.block_sealed(
+                self.engine.now, self.ledger.height + 1, leader.name,
+                batch, exec_time, outcome)
         if outcome.committed:
             self.engine.schedule_after(
                 latency,
-                lambda: self._append_block(batch, receipts, leader.name),
+                lambda: self._append_block(batch, receipts, leader.name, bid),
                 label=f"{self.params.name}-append")
         else:
             # the round-change cascade gave up: the transactions return to
             # the pool and the next attempt starts after the wasted rounds
-            self.blocks_failed += 1
+            self._blocks_failed.inc()
+            if self.tracer is not None and bid >= 0:
+                self.tracer.block_requeued(bid, self.engine.now)
             for tx in batch:
                 self.mempool.try_add(tx)
         delay = self.model.next_block_delay(self._last_round_latency)
@@ -750,7 +837,8 @@ class BlockchainNetwork:
         return receipts, cpu
 
     def _append_block(self, batch: Sequence[Transaction],
-                      receipts: Sequence[Receipt], proposer: str) -> None:
+                      receipts: Sequence[Receipt], proposer: str,
+                      bid: int = -1) -> None:
         now = self.engine.now
         block = Block(
             height=self.ledger.height + 1,
@@ -760,6 +848,8 @@ class BlockchainNetwork:
             timestamp=now,
             gas_used=sum(r.gas_used for r in receipts))
         self.ledger.append(block, decided_at=now)
+        if self.tracer is not None and bid >= 0:
+            self.tracer.block_appended(bid, now)
         self._finalize_ready()
 
     def _finalize_ready(self) -> None:
@@ -787,6 +877,8 @@ class BlockchainNetwork:
             return
         observation = self._observation_delay()
         tx.committed_at = final_time + observation
+        if self.tracer is not None:
+            self.tracer.tx_committed(tx, final_time, tx.committed_at)
         self.committed.append(tx)
         for listener in self._commit_listeners:
             listener(tx)

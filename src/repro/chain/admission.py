@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional
+from typing import Callable, Deque, Dict, Optional
 
 from repro.chain.mempool import Mempool
 from repro.chain.transaction import Transaction
@@ -33,6 +33,7 @@ from repro.common.errors import (
     NodeOverloadedError,
     SenderQuotaError,
 )
+from repro.obs.metrics import MetricsNamespace, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -56,15 +57,24 @@ class AdmissionController:
     """Typed admission front door for one node's :class:`Mempool`."""
 
     def __init__(self, mempool: Mempool,
-                 policy: AdmissionPolicy = AdmissionPolicy()) -> None:
+                 policy: AdmissionPolicy = AdmissionPolicy(),
+                 metrics: Optional[MetricsNamespace] = None) -> None:
         self.mempool = mempool
         self.policy = policy
         self._queue: Deque[Transaction] = deque()
         self.shedding = False
         self.shed_pool_target: Optional[int] = None
-        self.shed_rejections = 0
-        self.queued_total = 0
-        self.drained_total = 0
+        self._metrics = (metrics if metrics is not None
+                         else MetricsRegistry().namespace("admission"))
+        self._shed_rejections = self._metrics.counter("shed_rejections")
+        self._queued_total = self._metrics.counter("queued")
+        self._drained_total = self._metrics.counter("drained")
+        self._metrics.gauge("queue_depth", supplier=self._queue.__len__)
+        #: lifecycle hook: called with each transaction that enters the
+        #: pool *from the queue* (direct admits are visible to the caller
+        #: through :meth:`submit`'s return value, drains are not). Only
+        #: set when a tracer is attached, so the default path pays nothing.
+        self.on_admit: Optional[Callable[[Transaction], None]] = None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -72,6 +82,20 @@ class AdmissionController:
     @property
     def queue_depth(self) -> int:
         return len(self._queue)
+
+    # -- registry views -----------------------------------------------------------
+
+    @property
+    def shed_rejections(self) -> int:
+        return self._shed_rejections.value
+
+    @property
+    def queued_total(self) -> int:
+        return self._queued_total.value
+
+    @property
+    def drained_total(self) -> int:
+        return self._drained_total.value
 
     # -- shedding ---------------------------------------------------------------
 
@@ -94,7 +118,7 @@ class AdmissionController:
         if self.shedding:
             target = self.shed_pool_target
             if target is None or len(self.mempool) >= target:
-                self.shed_rejections += 1
+                self._shed_rejections.inc()
                 raise NodeOverloadedError(
                     "node is shedding load under memory pressure")
         try:
@@ -105,7 +129,7 @@ class AdmissionController:
             if len(self._queue) >= self.policy.queue_capacity:
                 raise
             self._queue.append(tx)
-            self.queued_total += 1
+            self._queued_total.inc()
             return "queued"
         return "admitted"
 
@@ -119,7 +143,9 @@ class AdmissionController:
             self.mempool.add(tx)
             self._queue.popleft()
             moved += 1
-        self.drained_total += moved
+            if self.on_admit is not None:
+                self.on_admit(tx)
+        self._drained_total.inc(moved)
         return moved
 
     def forget(self, tx: Transaction) -> bool:

@@ -30,6 +30,7 @@ from repro.common.errors import (
     SenderQuotaError,
 )
 from repro.chain.transaction import Transaction
+from repro.obs.metrics import MetricsNamespace, MetricsRegistry
 
 #: Canonical drop-reason tags recorded by the pool.
 DROP_CAPACITY = "capacity"
@@ -60,16 +61,37 @@ class MempoolPolicy:
 class Mempool:
     """FIFO (or fee-ordered) transaction pool with admission control."""
 
-    def __init__(self, policy: MempoolPolicy = MempoolPolicy()) -> None:
+    def __init__(self, policy: MempoolPolicy = MempoolPolicy(),
+                 metrics: Optional[MetricsNamespace] = None) -> None:
         self.policy = policy
         self._pool: "OrderedDict[int, Transaction]" = OrderedDict()
         self._per_sender: Dict[str, int] = defaultdict(int)
-        self.admitted = 0
-        self.resident_bytes = 0
-        #: per-reason counters for every transaction the pool turned away
-        #: or threw out — the unified record behind ``add``/``try_add``
-        self.drops: Dict[str, int] = {}
+        # counters live in a metrics namespace (the experiment's shared
+        # registry when the pool belongs to a chain, a private one
+        # otherwise) so timeseries sampling sees them under mempool.*
+        self._metrics = (metrics if metrics is not None
+                         else MetricsRegistry().namespace("mempool"))
+        self._admitted = self._metrics.counter("admitted")
+        self._resident_bytes = self._metrics.gauge("resident_bytes")
+        self._metrics.gauge("resident", supplier=self._pool.__len__)
         self.last_drop_reason: Optional[str] = None
+
+    # -- registry views ----------------------------------------------------------
+
+    @property
+    def admitted(self) -> int:
+        """Transactions ever admitted into the pool."""
+        return self._admitted.value
+
+    @property
+    def resident_bytes(self) -> int:
+        """Wire bytes of the currently resident transactions."""
+        return self._resident_bytes.value
+
+    @property
+    def drops(self) -> Dict[str, int]:
+        """Per-reason counters for every transaction turned away/thrown out."""
+        return self._metrics.counters_with_prefix("drops")
 
     def __len__(self) -> int:
         return len(self._pool)
@@ -98,7 +120,7 @@ class Mempool:
     # -- admission ---------------------------------------------------------------
 
     def _count_drop(self, reason: str) -> None:
-        self.drops[reason] = self.drops.get(reason, 0) + 1
+        self._metrics.counter(f"drops.{reason}").inc()
         self.last_drop_reason = reason
 
     def would_accept(self, tx: Transaction) -> Optional[str]:
@@ -148,8 +170,8 @@ class Mempool:
                     f"mempool byte budget exhausted ({max_bytes} bytes)")
         self._pool[tx.uid] = tx
         self._per_sender[tx.sender] += 1
-        self.resident_bytes += tx.size
-        self.admitted += 1
+        self._resident_bytes.add(tx.size)
+        self._admitted.inc()
 
     def try_add(self, tx: Transaction) -> bool:
         """Admit a transaction, returning False instead of raising.
@@ -166,7 +188,7 @@ class Mempool:
     def _evict_one(self) -> None:
         uid, victim = self._pool.popitem(last=False)
         self._per_sender[victim.sender] -= 1
-        self.resident_bytes -= victim.size
+        self._resident_bytes.add(-victim.size)
         self._count_drop(DROP_EVICTED)
 
     # -- removal ---------------------------------------------------------------
@@ -207,7 +229,7 @@ class Mempool:
         for tx in batch:
             del self._pool[tx.uid]
             self._per_sender[tx.sender] -= 1
-            self.resident_bytes -= tx.size
+            self._resident_bytes.add(-tx.size)
         return batch
 
     def remove(self, tx: Transaction) -> bool:
@@ -216,7 +238,7 @@ class Mempool:
             return False
         del self._pool[tx.uid]
         self._per_sender[tx.sender] -= 1
-        self.resident_bytes -= tx.size
+        self._resident_bytes.add(-tx.size)
         return True
 
     def drop_expired(self, now: float, max_age: float) -> List[Transaction]:

@@ -16,10 +16,14 @@ workload is the same YAML dialect::
 
     python -m repro csv results.json > results.csv
 
+    python -m repro trace ethereum --duration 30 --chrome-trace out.json
+
 ``run`` executes a YAML workload specification; ``suite`` runs one of the
 built-in DApp/synthetic traces; ``csv`` converts a results JSON file to the
-artifact's per-transaction CSV format; ``chains`` and ``workloads`` list
-what is available.
+artifact's per-transaction CSV format; ``trace`` runs a short workload
+with full observability (lifecycle tracer + engine profiler) and prints
+the per-phase latency breakdown; ``chains`` and ``workloads`` list what
+is available.
 """
 
 from __future__ import annotations
@@ -36,8 +40,16 @@ from repro.analysis.summary import (
     transactions_to_csv,
 )
 from repro.blockchains.registry import CHAIN_NAMES, characteristics_table
+from repro.core.primary import Primary
 from repro.core.results import BenchmarkResult
 from repro.core.runner import run_benchmark, run_trace
+from repro.obs import (
+    ObservabilityOptions,
+    trace_report,
+    write_chrome_trace,
+    write_prometheus,
+    write_spans_jsonl,
+)
 from repro.core.spec import (
     AccountSample,
     LoadSchedule,
@@ -148,6 +160,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     overload_parser.add_argument("--drain", type=float, default=120.0,
                                  help="post-load drain budget (seconds)")
 
+    trace_parser = commands.add_parser(
+        "trace", help="run a short workload with lifecycle tracing and"
+        " engine profiling; print the per-phase latency breakdown")
+    trace_parser.add_argument("trace_chain", metavar="chain",
+                              choices=CHAIN_NAMES)
+    trace_parser.add_argument("--configuration", default="datacenter",
+                              choices=sorted(CONFIGURATIONS))
+    trace_parser.add_argument("--duration", type=float, default=30.0,
+                              help="workload duration (seconds)")
+    trace_parser.add_argument("--rate", type=float, default=200.0,
+                              help="offered load in TPS")
+    trace_parser.add_argument("--accounts", type=int, default=2_000)
+    trace_parser.add_argument("--scale", type=float, default=None,
+                              help="experiment scale factor"
+                              " (default: REPRO_SCALE)")
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument("--sample-period", type=float, default=1.0,
+                              help="metrics sampling period on the simulated"
+                              " clock (0 disables the sampler)")
+    trace_parser.add_argument("--top", type=int, default=10,
+                              help="engine hotspots to print")
+    trace_parser.add_argument("--chrome-trace", type=Path, default=None,
+                              help="write a Chrome trace_event JSON here"
+                              " (open in chrome://tracing or Perfetto)")
+    trace_parser.add_argument("--spans-jsonl", type=Path, default=None,
+                              help="write raw span records as JSONL here")
+    trace_parser.add_argument("--prometheus", type=Path, default=None,
+                              help="write a Prometheus-style metrics dump"
+                              " here")
+    trace_parser.add_argument("--output", type=Path, default=None,
+                              help="write the full results JSON here")
+
     commands.add_parser("chains", help="list the evaluated blockchains")
     commands.add_parser("workloads", help="list the built-in workloads")
 
@@ -201,6 +245,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                                watchdog_window=args.watchdog_window)
         _emit(result, args.output, args.stat, args.compress)
         print(degradation_report(result))
+    elif args.command == "trace":
+        spec = simple_spec(
+            TransferSpec(AccountSample(args.accounts)),
+            LoadSchedule.constant(args.rate, args.duration))
+        observe = ObservabilityOptions(trace=True, profile=True,
+                                       sample_period=args.sample_period)
+        primary = Primary(args.trace_chain, args.configuration,
+                          scale=args.scale, seed=args.seed, observe=observe)
+        result = primary.run(spec, workload_name="trace")
+        print(trace_report(primary.tracer, primary.profiler, top=args.top))
+        if args.chrome_trace is not None:
+            write_chrome_trace(primary.tracer, args.chrome_trace,
+                               profiler=primary.profiler)
+            print(f"wrote {args.chrome_trace}", file=sys.stderr)
+        if args.spans_jsonl is not None:
+            write_spans_jsonl(primary.tracer, args.spans_jsonl)
+            print(f"wrote {args.spans_jsonl}", file=sys.stderr)
+        if args.prometheus is not None:
+            write_prometheus(primary.network.metrics, args.prometheus,
+                             labels={"chain": args.trace_chain,
+                                     "configuration": args.configuration})
+            print(f"wrote {args.prometheus}", file=sys.stderr)
+        if args.output is not None:
+            args.output.write_text(result.to_json())
+            print(f"wrote {args.output}", file=sys.stderr)
     elif args.command == "csv":
         if args.results.suffix == ".gz":
             import gzip

@@ -110,6 +110,7 @@ class AlgorandReplica(Replica):
         if not selected:
             return
         digest = short_hash("blk", round_, best[1])
+        self.count("soft_votes")
         self.broadcast(Message("ba-soft", self.node_id, {
             "round": round_, "digest": digest, "value": best[1]}))
 

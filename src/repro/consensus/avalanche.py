@@ -58,6 +58,7 @@ class SnowballReplica(Replica):
         if self.finalized:
             return
         self._poll_round += 1
+        self.count("polls")
         round_ = self._poll_round
         self._responses[round_] = []
         k = min(self.k, self.n - 1)

@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.common.errors import SimulationError
 from repro.common.rng import RngFactory
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Engine
 from repro.sim.faults import FaultInjector
 from repro.sim.network import Endpoint, Network, spread_endpoints
@@ -97,6 +98,16 @@ class Replica:
         self.harness.record_decision(
             Decision(height, value, self.node_id, self.now))
 
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump a protocol counter (``replica.<protocol>.<name>``).
+
+        Protocol subclasses use this for their per-protocol event totals
+        (proposals, votes cast, view changes, polls...), which land in the
+        harness's shared registry next to the routing counters.
+        """
+        protocol = type(self).__name__.lower()
+        self.harness.metrics.counter(f"replica.{protocol}.{name}").inc(amount)
+
     def next_payload(self) -> Any:
         """Fetch the next client payload to propose (or a filler)."""
         return self.harness.next_payload(self.node_id)
@@ -137,7 +148,11 @@ class ConsensusHarness:
         self.endpoints: List[Endpoint] = spread_endpoints(
             self.n, region_list, prefix="replica")
         factory = RngFactory(seed)
-        self.network = Network(self.engine, factory)
+        #: shared registry for routing counters, the network's traffic
+        #: totals, and the replicas' per-protocol counters
+        self.metrics = MetricsRegistry()
+        self.network = Network(self.engine, factory,
+                               metrics=self.metrics.namespace("network"))
         self._drop_rng = factory.stream("harness", "drops")
         self._fault_rng = factory.stream("harness", "fault-drops")
         self.drop_rate = drop_rate
@@ -148,13 +163,35 @@ class ConsensusHarness:
         self.decisions: List[Decision] = []
         self._payload_queue: List[Any] = []
         self._filler_counter = 0
-        self.messages_routed = 0
-        self.dropped_by_crash = 0    # sender or target fail-stopped
-        self.dropped_by_fault = 0    # partition / outage / link drop rate
-        self.dropped_by_loss = 0     # baseline drop_rate losses
+        harness_metrics = self.metrics.namespace("harness")
+        self._messages_routed = harness_metrics.counter("messages_routed")
+        # sender or target fail-stopped
+        self._dropped_by_crash = harness_metrics.counter("dropped_by_crash")
+        # partition / outage / link drop rate
+        self._dropped_by_fault = harness_metrics.counter("dropped_by_fault")
+        # baseline drop_rate losses
+        self._dropped_by_loss = harness_metrics.counter("dropped_by_loss")
         for node_id, replica in enumerate(self.replicas):
             replica.node_id = node_id
             replica.harness = self
+
+    # -- registry views ---------------------------------------------------------------
+
+    @property
+    def messages_routed(self) -> int:
+        return self._messages_routed.value
+
+    @property
+    def dropped_by_crash(self) -> int:
+        return self._dropped_by_crash.value
+
+    @property
+    def dropped_by_fault(self) -> int:
+        return self._dropped_by_fault.value
+
+    @property
+    def dropped_by_loss(self) -> int:
+        return self._dropped_by_loss.value
 
     @property
     def crashed(self) -> set:
@@ -191,27 +228,27 @@ class ConsensusHarness:
             self.replicas[payload].on_recover()
 
     def route(self, sender: int, target: int, message: Message) -> None:
-        self.messages_routed += 1
+        self._messages_routed.inc()
         sender_region = self.endpoints[sender].region
         target_region = self.endpoints[target].region
         injector = self.injector
         if injector.is_crashed(sender) or injector.is_crashed(target):
-            self.dropped_by_crash += 1
+            self._dropped_by_crash.inc()
             return
         if not injector.reachable(sender, target,
                                   sender_region, target_region):
-            self.dropped_by_fault += 1
+            self._dropped_by_fault.inc()
             return
         extra_latency = 0.0
         if sender != target:
             extra_latency, fault_drop = self._link_faults(
                 sender, target, sender_region, target_region)
             if fault_drop > 0 and float(self._fault_rng.random()) < fault_drop:
-                self.dropped_by_fault += 1
+                self._dropped_by_fault.inc()
                 return
             if self.drop_rate > 0:
                 if float(self._drop_rng.random()) < self.drop_rate:
-                    self.dropped_by_loss += 1
+                    self._dropped_by_loss.inc()
                     return
         replica = self.replicas[target]
         deliver: Callable[[], None] = lambda: replica.on_message(message)

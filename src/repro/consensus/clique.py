@@ -114,6 +114,7 @@ class CliqueReplica(Replica):
             value=value,
             total_difficulty=self.head.total_difficulty + (2 if in_turn else 1))
         self._recently_sealed[self.node_id] = height
+        self.count("blocks_sealed")
         self.blocks[block.block_id] = block
         self._adopt(block)
         self.broadcast(Message("block", self.node_id, {"block": block},

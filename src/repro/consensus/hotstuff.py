@@ -131,6 +131,7 @@ class HotStuffReplica(Replica):
             justify=self.high_qc,
             value=value)
         self.blocks[block.block_id] = block
+        self.count("proposals")
         self.broadcast(Message(
             "proposal", self.node_id,
             {"block": block}, size=PROPOSAL_BASE_SIZE))
@@ -154,6 +155,7 @@ class HotStuffReplica(Replica):
         self._enter_view(block.view + 1)
         vote = Message("vote", self.node_id,
                        {"view": block.view, "block_id": block.block_id})
+        self.count("votes_cast")
         self.send(self.leader_of(block.view + 1), vote)
 
     def _safe_to_vote(self, block: HSBlock) -> bool:
@@ -185,6 +187,7 @@ class HotStuffReplica(Replica):
         if view_at_arm != self.view:
             return
         self._timeouts_fired += 1
+        self.count("timeouts")
         self._enter_view(self.view + 1)
         self.send(self.leader_of(self.view),
                   Message("new-view", self.node_id,

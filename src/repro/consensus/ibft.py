@@ -121,6 +121,7 @@ class IBFTReplica(Replica):
         value = self.next_payload()
         proposal = IBFTProposal(height, round_, value,
                                 digest=f"h{height}r{round_}:{value}")
+        self.count("proposals")
         self.broadcast(Message("pre-prepare", self.node_id,
                                {"proposal": proposal},
                                size=PROPOSAL_BASE_SIZE))
@@ -142,6 +143,7 @@ class IBFTReplica(Replica):
         if key in self._sent_prepare:
             return
         self._sent_prepare.add(key)
+        self.count("prepares_cast")
         self.broadcast(Message("prepare", self.node_id, {
             "height": proposal.height, "round": proposal.round,
             "digest": proposal.digest}))
@@ -187,6 +189,7 @@ class IBFTReplica(Replica):
         if (height, round_) != (self.height, self.round):
             return
         self.round_changes_seen += 1
+        self.count("round_changes")
         next_round = round_ + 1
         self.broadcast(Message("round-change", self.node_id, {
             "height": height, "round": next_round}))

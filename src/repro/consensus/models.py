@@ -132,11 +132,18 @@ class BlockAttempt:
 
 @dataclass
 class DecisionOutcome:
-    """Result of one consensus attempt."""
+    """Result of one consensus attempt.
+
+    ``breakdown`` optionally attributes the latency to protocol phases
+    (``propose``/``vote``/``execute``/``view_change``); it is advisory
+    observability data consumed by the lifecycle tracer and never feeds
+    back into the simulation.
+    """
 
     latency: float
     committed: bool
     view_changes: int = 0
+    breakdown: Optional[Dict[str, float]] = None
 
 
 class ConsensusPerfModel:
@@ -233,7 +240,8 @@ class LeaderBFTPerf(ConsensusPerfModel):
         depth = 1.0 if self._last_had_view_change else self.pipeline_depth
         return max(self.min_block_interval, last_round_latency / depth)
 
-    def round_latency(self, attempt: BlockAttempt) -> float:
+    def round_components(self, attempt: BlockAttempt) -> Dict[str, float]:
+        """Phase attribution of one round's latency (seconds per phase)."""
         # block building slows down with the resident pool (tx-pool
         # reorganisation) and with the incoming request stream (admission
         # processing competes with consensus on the same node)
@@ -251,11 +259,18 @@ class LeaderBFTPerf(ConsensusPerfModel):
         quorum_rtt = self.profile.rtt_quantile(0.66)
         verify = (attempt.tx_count * self.verify_cpu_per_tx
                   / self.vote_verify_parallelism)
-        return (build + dissemination + self.phases * quorum_rtt
-                + verify + attempt.exec_cpu_seconds)
+        return {
+            "propose": build + dissemination,
+            "vote": self.phases * quorum_rtt + verify,
+            "execute": attempt.exec_cpu_seconds,
+        }
+
+    def round_latency(self, attempt: BlockAttempt) -> float:
+        return sum(self.round_components(attempt).values())
 
     def decide(self, attempt: BlockAttempt) -> DecisionOutcome:
-        latency = self.round_latency(attempt)
+        components = self.round_components(attempt)
+        latency = sum(components.values())
         view_changes = 0
         total = 0.0
         self._last_had_view_change = False
@@ -271,11 +286,16 @@ class LeaderBFTPerf(ConsensusPerfModel):
                                         self._current_timeout * 2)
             if view_changes >= 8:
                 return DecisionOutcome(total, committed=False,
-                                       view_changes=view_changes)
+                                       view_changes=view_changes,
+                                       breakdown={"view_change": total})
         total += latency
         self._current_timeout = self.base_round_timeout
+        breakdown = dict(components)
+        if total > latency:
+            breakdown["view_change"] = total - latency
         return DecisionOutcome(total, committed=True,
-                               view_changes=view_changes)
+                               view_changes=view_changes,
+                               breakdown=breakdown)
 
 
 class CommitteePerf(ConsensusPerfModel):
@@ -309,7 +329,16 @@ class CommitteePerf(ConsensusPerfModel):
         return last_round_latency
 
     def decide(self, attempt: BlockAttempt) -> DecisionOutcome:
-        return DecisionOutcome(self.round_latency(attempt), committed=True)
+        dissemination = self.profile.dissemination_time(
+            attempt.payload_bytes, attempt.leader_region)
+        gossip_rtt = self.profile.rtt_quantile(0.9)
+        return DecisionOutcome(
+            self.round_latency(attempt), committed=True,
+            breakdown={
+                "propose": self.proposal_window + dissemination,
+                "vote": self.vote_steps * gossip_rtt,
+                "execute": attempt.exec_cpu_seconds,
+            })
 
 
 class DAGPerf(ConsensusPerfModel):
@@ -343,8 +372,10 @@ class DAGPerf(ConsensusPerfModel):
         dissemination = self.profile.dissemination_time(
             attempt.payload_bytes, attempt.leader_region)
         polls = self.beta * self.profile.rtt_quantile(0.5)
-        return DecisionOutcome(dissemination + polls
-                               + attempt.exec_cpu_seconds, committed=True)
+        return DecisionOutcome(
+            dissemination + polls + attempt.exec_cpu_seconds, committed=True,
+            breakdown={"propose": dissemination, "vote": polls,
+                       "execute": attempt.exec_cpu_seconds})
 
 
 class PoHPerf(ConsensusPerfModel):
@@ -368,8 +399,10 @@ class PoHPerf(ConsensusPerfModel):
     def decide(self, attempt: BlockAttempt) -> DecisionOutcome:
         dissemination = self.profile.dissemination_time(
             attempt.payload_bytes, attempt.leader_region)
-        return DecisionOutcome(self.slot_duration / 2 + dissemination,
-                               committed=True)
+        return DecisionOutcome(
+            self.slot_duration / 2 + dissemination, committed=True,
+            breakdown={"propose": dissemination,
+                       "vote": self.slot_duration / 2})
 
 
 class CliquePerf(ConsensusPerfModel):
@@ -393,5 +426,7 @@ class CliquePerf(ConsensusPerfModel):
     def decide(self, attempt: BlockAttempt) -> DecisionOutcome:
         dissemination = self.profile.dissemination_time(
             attempt.payload_bytes, attempt.leader_region)
-        return DecisionOutcome(dissemination + attempt.exec_cpu_seconds,
-                               committed=True)
+        return DecisionOutcome(
+            dissemination + attempt.exec_cpu_seconds, committed=True,
+            breakdown={"propose": dissemination,
+                       "execute": attempt.exec_cpu_seconds})

@@ -78,6 +78,7 @@ class RaftReplica(Replica):
         self.voted_for = self.node_id
         self._votes = {self.node_id}
         self._arm_election_timer()
+        self.count("elections_started")
         last_term = self.log[-1].term if self.log else 0
         self.broadcast(Message("request-vote", self.node_id, {
             "term": self.term, "last_index": len(self.log),
@@ -113,6 +114,7 @@ class RaftReplica(Replica):
     def _become_leader(self) -> None:
         self.role = "leader"
         self.leader_terms_won += 1
+        self.count("terms_won")
         self._match_index = {i: 0 for i in range(self.n)}
         self._match_index[self.node_id] = len(self.log)
         self._send_heartbeats()

@@ -109,6 +109,7 @@ class TowerReplica(Replica):
         if len(self.tower) > 32:
             self.tower.pop(0)
         self.votes.setdefault(slot, set()).add(self.node_id)
+        self.count("votes_cast")
         self.broadcast(Message("vote", self.node_id, {"slot": slot}),
                        include_self=False)
         self._try_root()

@@ -24,6 +24,12 @@ from repro.core.results import BenchmarkResult, TransactionRecord
 from repro.core.secondary import Secondary
 from repro.core.spec import WorkloadSpec
 from repro.core.watchdog import DEFAULT_WINDOW, LivenessWatchdog
+from repro.obs import (
+    EngineProfiler,
+    LifecycleTracer,
+    MetricsSampler,
+    ObservabilityOptions,
+)
 from repro.sim.deployment import DeploymentConfig, get_configuration
 from repro.sim.engine import Engine
 from repro.sim.faults import FaultInjector
@@ -42,13 +48,21 @@ class Primary:
                  scale: Optional[float] = None,
                  seed: int = 0,
                  secondaries_per_region: int = 1,
-                 params: Optional["ChainParams"] = None) -> None:
+                 params: Optional["ChainParams"] = None,
+                 observe: Optional[ObservabilityOptions] = None) -> None:
         """Coordinate benchmarks for *chain* in *deployment*.
 
         Pass ``params`` to benchmark a chain that is not in the registry —
         a custom :class:`~repro.blockchains.base.ChainParams` is all a new
         blockchain needs (the §4 extensibility path; see
         examples/custom_blockchain.py).
+
+        Pass ``observe`` to turn on observability: a lifecycle tracer on
+        the chain's transaction pipeline, a periodic metrics sampler
+        (landing in ``BenchmarkResult.timeseries``) and optionally the
+        engine profiler. The default (None) is the zero-overhead path —
+        no tracer hooks fire and the result is identical to a run without
+        any observability code.
         """
         self.chain_name = chain
         self.deployment = (get_configuration(deployment)
@@ -69,6 +83,17 @@ class Primary:
                 scale=self.scale, seed=seed)
         self.connector = SimConnector(self.network)
         self.secondaries: List[Secondary] = []
+        self.observe = observe
+        self.tracer: Optional[LifecycleTracer] = None
+        self.profiler: Optional[EngineProfiler] = None
+        self._sampler: Optional[MetricsSampler] = None
+        if observe is not None:
+            if observe.trace:
+                self.tracer = LifecycleTracer(chain=chain)
+                self.network.attach_tracer(self.tracer)
+            if observe.profile:
+                self.profiler = EngineProfiler()
+                self.engine.profiler = self.profiler
 
     # -- setup helpers ---------------------------------------------------------------
 
@@ -163,6 +188,9 @@ class Primary:
         self.network.active_until = duration
         watchdog = LivenessWatchdog(self.engine, self.network,
                                     window=watchdog_window)
+        if self.observe is not None and self.observe.sample_period > 0:
+            self._sampler = MetricsSampler(self.engine, self.network.metrics,
+                                           period=self.observe.sample_period)
         for secondary in self.secondaries:
             secondary.start()
         target = duration + drain
@@ -182,6 +210,8 @@ class Primary:
             stalled_last_chunk = stalled
             committed_before = committed_now
         watchdog.stop()
+        if self._sampler is not None:
+            self._sampler.stop()
         deadline_hit = (deadline is not None and deadline < duration + drain
                         and self.engine.now >= deadline)
         if deadline_hit:
@@ -216,8 +246,20 @@ class Primary:
             status=status,
             liveness_events=list(liveness_events or []),
             overload_events=list(self.network.overload_events))
+        records_without_submit = 0
         for secondary in self.secondaries:
             for tx, client_name in secondary.sent:
+                if tx.submitted_at is None:
+                    # a transaction the Secondary generated but never
+                    # actually handed to a node has no place in latency
+                    # or throughput aggregates — count it instead
+                    records_without_submit += 1
+                    continue
                 result.records.append(
                     TransactionRecord.from_transaction(tx, client_name))
+        if records_without_submit:
+            result.chain_stats["records_without_submit"] = (
+                records_without_submit)
+        if self._sampler is not None:
+            result.timeseries = list(self._sampler.samples)
         return result

@@ -46,13 +46,21 @@ class TransactionRecord:
 
     @staticmethod
     def from_transaction(tx: Transaction, client: str = "") -> "TransactionRecord":
+        if tx.submitted_at is None:
+            # a record with no submission time cannot enter latency or
+            # throughput aggregates; callers filter these out and count
+            # them (chain_stats["records_without_submit"]) instead of
+            # letting a sentinel -1.0 poison the statistics
+            raise ValueError(
+                f"transaction {tx.uid} was never submitted"
+                " (submitted_at is None)")
         return TransactionRecord(
             uid=tx.uid,
             kind=tx.kind.value,
             contract=tx.contract,
             function=tx.function,
             client=client,
-            submitted_at=tx.submitted_at if tx.submitted_at is not None else -1.0,
+            submitted_at=tx.submitted_at,
             committed_at=None if tx.aborted else tx.committed_at,
             aborted=tx.aborted,
             abort_reason=tx.abort_reason,
@@ -80,6 +88,11 @@ class BenchmarkResult:
     liveness_events: List[Dict[str, Any]] = field(default_factory=list)
     #: chain-side overload responses (oom_crash / commit_stall / shed_*)
     overload_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: periodic metrics-registry samples on the simulated clock (one row
+    #: per sampler tick: {"t": ..., "<metric>": ...}); empty unless the run
+    #: had observability enabled — untraced runs serialize identically to
+    #: runs from before the registry existed
+    timeseries: List[Dict[str, Any]] = field(default_factory=list)
 
     # -- core aggregates (unscaled back to real-experiment units) ----------------
 
@@ -326,6 +339,8 @@ class BenchmarkResult:
             summary["liveness_events"] = self.liveness_events
         if self.overload_events:
             summary["overload_events"] = self.overload_events
+        if self.timeseries:
+            summary["timeseries"] = self.timeseries
         return summary
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -349,7 +364,8 @@ class BenchmarkResult:
             fault_events=summary.get("fault_events", []),
             status=summary.get("status", "ok"),
             liveness_events=summary.get("liveness_events", []),
-            overload_events=summary.get("overload_events", []))
+            overload_events=summary.get("overload_events", []),
+            timeseries=summary.get("timeseries", []))
         for raw in payload["transactions"]:
             result.records.append(TransactionRecord(**raw))
         return result

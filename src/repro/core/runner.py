@@ -13,6 +13,7 @@ from repro.core.primary import DEFAULT_DRAIN, Primary
 from repro.core.results import BenchmarkResult
 from repro.core.spec import WorkloadSpec, load_spec
 from repro.core.watchdog import DEFAULT_WINDOW
+from repro.obs import ObservabilityOptions
 from repro.sim.deployment import DeploymentConfig
 from repro.workloads.traces import Trace
 
@@ -24,11 +25,14 @@ def run_benchmark(chain: str, deployment: Union[str, DeploymentConfig],
                   seed: int = 0,
                   drain: float = DEFAULT_DRAIN,
                   max_sim_seconds: Optional[float] = None,
-                  watchdog_window: float = DEFAULT_WINDOW) -> BenchmarkResult:
+                  watchdog_window: float = DEFAULT_WINDOW,
+                  observe: Optional[ObservabilityOptions] = None
+                  ) -> BenchmarkResult:
     """Run one benchmark from a WorkloadSpec (or its YAML text)."""
     if isinstance(spec, str):
         spec = load_spec(spec)
-    primary = Primary(chain, deployment, scale=scale, seed=seed)
+    primary = Primary(chain, deployment, scale=scale, seed=seed,
+                      observe=observe)
     return primary.run(spec, workload_name=workload_name, drain=drain,
                        max_sim_seconds=max_sim_seconds,
                        watchdog_window=watchdog_window)
@@ -42,14 +46,17 @@ def run_trace(chain: str, deployment: Union[str, DeploymentConfig],
               seed: int = 0,
               drain: float = DEFAULT_DRAIN,
               max_sim_seconds: Optional[float] = None,
-              watchdog_window: float = DEFAULT_WINDOW) -> BenchmarkResult:
+              watchdog_window: float = DEFAULT_WINDOW,
+              observe: Optional[ObservabilityOptions] = None
+              ) -> BenchmarkResult:
     """Run one of the workload-suite traces against a chain."""
     spec = trace.spec(accounts=accounts, clients=clients)
     return run_benchmark(chain, deployment, spec,
                          workload_name=trace.name,
                          scale=scale, seed=seed, drain=drain,
                          max_sim_seconds=max_sim_seconds,
-                         watchdog_window=watchdog_window)
+                         watchdog_window=watchdog_window,
+                         observe=observe)
 
 
 def run_matrix(chains: Iterable[str],

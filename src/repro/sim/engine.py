@@ -61,6 +61,10 @@ class Engine:
         self._sequence = 0
         self._running = False
         self._events_executed = 0
+        #: optional :class:`repro.obs.profiler.EngineProfiler`; when set,
+        #: every event callback runs through it (wall-clock attribution
+        #: per event label — observation only, event order is unchanged)
+        self.profiler: Optional[Any] = None
 
     # -- clock ---------------------------------------------------------------
 
@@ -110,7 +114,10 @@ class Engine:
                 continue
             self._now = event.time
             self._events_executed += 1
-            event.callback()
+            if self.profiler is not None:
+                self.profiler.record(event.label, event.callback)
+            else:
+                event.callback()
             return True
         return False
 
@@ -140,7 +147,10 @@ class Engine:
                 self._now = head.time
                 self._events_executed += 1
                 executed += 1
-                head.callback()
+                if self.profiler is not None:
+                    self.profiler.record(head.label, head.callback)
+                else:
+                    head.callback()
             if until is not None and self._now < until:
                 self._now = until
         finally:

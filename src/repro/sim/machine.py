@@ -22,6 +22,7 @@ from typing import Callable, Dict, Optional
 
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.units import GIB
+from repro.obs.metrics import MetricsNamespace, MetricsRegistry
 from repro.sim.engine import Engine
 from repro.sim.network import Endpoint
 
@@ -147,7 +148,8 @@ class Machine:
 
     def __init__(self, engine: Engine, endpoint: Endpoint,
                  instance_type: InstanceType,
-                 memory_margin: float = 1.0) -> None:
+                 memory_margin: float = 1.0,
+                 metrics: Optional[MetricsNamespace] = None) -> None:
         """*memory_margin* scales the usable RAM (per-node OOM jitter)."""
         if memory_margin <= 0:
             raise ConfigurationError(
@@ -158,8 +160,25 @@ class Machine:
         self._core_free_at = [0.0] * instance_type.vcpus
         self.memory = MemoryLedger(
             max(1, int(instance_type.memory * memory_margin)))
-        self.cpu_seconds_total = 0.0
-        self.jobs_executed = 0
+        # pass a unique per-machine namespace (e.g. machine.<name>) when
+        # several machines share one experiment registry — counters are
+        # get-or-create by name, so a shared namespace would alias them
+        self._metrics = (metrics if metrics is not None
+                         else MetricsRegistry().namespace("machine"))
+        self._cpu_seconds = self._metrics.counter("cpu_seconds")
+        self._jobs = self._metrics.counter("jobs_executed")
+        self._metrics.gauge("memory_pressure",
+                            supplier=lambda: self.memory.pressure)
+
+    # -- registry views ---------------------------------------------------------
+
+    @property
+    def cpu_seconds_total(self) -> float:
+        return self._cpu_seconds.value
+
+    @property
+    def jobs_executed(self) -> int:
+        return self._jobs.value
 
     @property
     def name(self) -> str:
@@ -212,10 +231,11 @@ class Machine:
         start = max(now, self._core_free_at[core])
         finish = start + scaled
         self._core_free_at[core] = finish
-        self.cpu_seconds_total += scaled
-        self.jobs_executed += 1
+        self._cpu_seconds.inc(scaled)
+        self._jobs.inc()
         if on_done is not None:
-            self.engine.schedule_at(finish, on_done, label=label)
+            self.engine.schedule_at(finish, on_done,
+                                    label=label or f"{self.name}-cpu-done")
         return finish
 
     def utilization(self, window: float) -> float:

@@ -21,6 +21,7 @@ import numpy as np
 from repro.common.errors import NetworkError
 from repro.common.rng import RngFactory
 from repro.common.units import gbps, mbps, ms
+from repro.obs.metrics import MetricsNamespace, MetricsRegistry
 from repro.sim.engine import Engine
 
 if TYPE_CHECKING:
@@ -229,7 +230,8 @@ class Network:
     """
 
     def __init__(self, engine: Engine, rng_factory: Optional[RngFactory] = None,
-                 jitter_cv: float = 0.05, model_bandwidth: bool = True) -> None:
+                 jitter_cv: float = 0.05, model_bandwidth: bool = True,
+                 metrics: Optional[MetricsNamespace] = None) -> None:
         self.engine = engine
         factory = rng_factory or RngFactory(0)
         self._rng = factory.stream("network", "jitter")
@@ -241,10 +243,33 @@ class Network:
         self._bw = bandwidth_matrix()
         self._pipes: Dict[Tuple[int, int], _LinkPipe] = {}
         self.injector: Optional["FaultInjector"] = None
-        self.messages_sent = 0
-        self.bytes_sent = 0
-        self.messages_blocked = 0    # unreachable: crash/partition/outage
-        self.messages_fault_dropped = 0  # lost to LinkDegrade drop rates
+        self._metrics = (metrics if metrics is not None
+                         else MetricsRegistry().namespace("network"))
+        self._messages_sent = self._metrics.counter("messages_sent")
+        self._bytes_sent = self._metrics.counter("bytes_sent")
+        # unreachable: crash/partition/outage
+        self._messages_blocked = self._metrics.counter("messages_blocked")
+        # lost to LinkDegrade drop rates
+        self._messages_fault_dropped = self._metrics.counter(
+            "messages_fault_dropped")
+
+    # -- registry views ---------------------------------------------------------
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent.value
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes_sent.value
+
+    @property
+    def messages_blocked(self) -> int:
+        return self._messages_blocked.value
+
+    @property
+    def messages_fault_dropped(self) -> int:
+        return self._messages_fault_dropped.value
 
     def attach_faults(self, injector: "FaultInjector") -> None:
         """Consult *injector* on every send (reachability + degradation)."""
@@ -289,11 +314,11 @@ class Network:
         if self.injector is not None:
             if not self.injector.reachable(src.name, dst.name,
                                            src.region, dst.region):
-                self.messages_blocked += 1
+                self._messages_blocked.inc()
                 return float("inf")
             extra, drop = self._link_faults(src, dst)
             if drop > 0 and float(self._fault_rng.random()) < drop:
-                self.messages_fault_dropped += 1
+                self._messages_fault_dropped.inc()
                 return float("inf")
             fault_latency = extra
         i, j = self._index[src.region], self._index[dst.region]
@@ -307,9 +332,10 @@ class Network:
             queueing = 0.0
         delay = (queueing + transfer + propagation
                  + self._jitter(propagation) + fault_latency)
-        self.messages_sent += 1
-        self.bytes_sent += size
-        self.engine.schedule_after(delay, on_delivery, label=label)
+        self._messages_sent.inc()
+        self._bytes_sent.inc(size)
+        self.engine.schedule_after(delay, on_delivery,
+                                   label=label or "network-delivery")
         return now + delay
 
     def _link_faults(self, src: Endpoint, dst: Endpoint) -> Tuple[float, float]:
