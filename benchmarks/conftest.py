@@ -15,6 +15,7 @@ workloads use smaller factors so the whole suite stays laptop-sized;
 from __future__ import annotations
 
 import os
+from pathlib import Path
 from typing import Dict, Optional
 
 import pytest
@@ -22,6 +23,7 @@ import pytest
 from repro.analysis.summary import comparison_table, format_table
 from repro.core.results import BenchmarkResult
 from repro.core.runner import run_trace
+from repro.sweep import CellOptions, ResultCache, SweepCell, cell_key, cell_key_fields
 from repro.workloads.traces import Trace
 
 ALL_CHAINS = ("algorand", "avalanche", "diem", "ethereum", "quorum", "solana")
@@ -44,12 +46,52 @@ def bench_scale(default: float) -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", default))
 
 
+#: sweep result cache shared by every benchmark module. Runs land in
+#: ``.repro-cache/benchmarks`` keyed by (chain, deployment, parsed spec,
+#: seed, scale, code version) — re-running the suite with unchanged
+#: sources replays instantly; editing anything under ``src/repro``
+#: invalidates every entry. ``REPRO_BENCH_CACHE=0`` disables, any other
+#: value relocates the directory.
+def _build_cache() -> Optional[ResultCache]:
+    setting = os.environ.get("REPRO_BENCH_CACHE", "")
+    if setting == "0":
+        return None
+    if setting:
+        return ResultCache(setting)
+    return ResultCache(Path(__file__).parent.parent
+                       / ".repro-cache" / "benchmarks")
+
+
+_RESULT_CACHE = _build_cache()
+
+
+@pytest.fixture(scope="session")
+def sweep_cache() -> Optional[ResultCache]:
+    """The on-disk result cache the whole benchmark session shares."""
+    return _RESULT_CACHE
+
+
 def run_chain_trace(chain: str, configuration: str, trace: Trace,
                     scale: float, seed: int = 1, accounts: int = 2_000,
                     drain: float = 240.0) -> BenchmarkResult:
-    """One benchmark run with the suite's defaults."""
-    return run_trace(chain, configuration, trace, accounts=accounts,
-                     scale=scale, seed=seed, drain=drain)
+    """One benchmark run with the suite's defaults, through the cache."""
+    if _RESULT_CACHE is None:
+        return run_trace(chain, configuration, trace, accounts=accounts,
+                         scale=scale, seed=seed, drain=drain)
+    from repro.sim.deployment import get_configuration
+    cell = SweepCell(index=0, chain=chain,
+                     configuration=get_configuration(configuration),
+                     workload=trace.name, trace=trace, seed=seed,
+                     scale=scale,
+                     options=CellOptions(accounts=accounts, drain=drain))
+    key = cell_key(cell)
+    cached = _RESULT_CACHE.get(key)
+    if cached is not None:
+        return BenchmarkResult.from_json(cached)
+    result = run_trace(chain, configuration, trace, accounts=accounts,
+                       scale=scale, seed=seed, drain=drain)
+    _RESULT_CACHE.put(key, cell_key_fields(cell), result.to_json())
+    return result
 
 
 def print_figure(title: str, results: Dict[str, BenchmarkResult]) -> None:

@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
 """Adding a new blockchain to DIABLO (§4's extensibility claim).
 
+Reproduces: no single figure — it demonstrates §4's 4-function connector
+contract, then reruns **Figure 4**'s robustness experiment (§6.3) with
+the new chain added to the comparison.
+
 The paper: "To add a new blockchain, one has to implement at least one of
 these interaction types as well as 4 functions" — here we add a fictional
 chain, *Redwood*, a leaderless deterministic BFT design in the spirit of

@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
 """Exchange DApp under the NASDAQ opening bursts (§3 / §6.5).
 
+Reproduces: **Figure 6** (availability CDFs), two-chain cut; the full
+six-chain figure is ``benchmarks/test_fig6_availability_cdf.py`` and the
+measured plateaus are tabulated in ``EXPERIMENTS.md`` §Figure 6.
+
 Replays the per-stock opening workloads — Google's 800-transaction burst
 up to Apple's 10,000-transaction burst — against two chains with opposite
 mempool philosophies:

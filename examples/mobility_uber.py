@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
 """Mobility service DApp — the universality experiment (§6.4 / Fig. 5).
 
+Reproduces: **Figure 5** (which VMs can execute the Mobility contract at
+all); asserted shape targets live in
+``benchmarks/test_fig5_universality.py`` and ``EXPERIMENTS.md`` §Figure 5.
+
 Sends the Uber workload (810-900 TPS of ``checkDistance`` calls, each
 scanning 10,000 drivers with Newton integer square roots) to all six
 blockchains on the consortium configuration.

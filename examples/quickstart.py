@@ -1,6 +1,11 @@
 #!/usr/bin/env python3
 """Quickstart: benchmark one blockchain with one workload.
 
+Reproduces: one cell of **Figure 3** (§6.2, the deployment challenge);
+``benchmarks/test_fig3_scalability.py`` regenerates the full figure and
+``EXPERIMENTS.md`` §Figure 3 records paper-vs-measured. Run the whole
+matrix in parallel with ``python -m repro sweep`` (docs/SWEEPS.md).
+
 Runs the paper's deployment challenge (§6.2) — native transfers at a
 constant 1,000 TPS for 120 seconds — against Quorum deployed in the
 testnet configuration (10 c5.xlarge machines in one datacenter), then

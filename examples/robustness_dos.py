@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
 """Robustness under overload and under faults (§6.3, §6.5).
 
+Reproduces: **Figure 4** (throughput at 1 kTPS vs 10 kTPS per chain);
+the asserted version is ``benchmarks/test_fig4_robustness.py``, with
+measured ratios in ``EXPERIMENTS.md`` §Figure 4.
+
 Part 1 stresses each chain, deployed in its best configuration, first
 with 1,000 TPS and then with 10,000 TPS of native transfers ("Generating
 10,000 TPS with DIABLO costs less than 8 USD/hour on AWS", the paper

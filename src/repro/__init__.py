@@ -27,6 +27,7 @@ from repro.core.primary import Primary
 from repro.core.results import BenchmarkResult
 from repro.core.runner import run_benchmark, run_matrix, run_trace
 from repro.core.spec import LoadSchedule, WorkloadSpec, load_spec
+from repro.sweep import ResultCache, SweepSpec, load_sweep, run_sweep
 
 __version__ = "1.0.0"
 
@@ -35,10 +36,14 @@ __all__ = [
     "ExperimentScale",
     "LoadSchedule",
     "Primary",
+    "ResultCache",
+    "SweepSpec",
     "WorkloadSpec",
     "__version__",
     "load_spec",
+    "load_sweep",
     "run_benchmark",
     "run_matrix",
+    "run_sweep",
     "run_trace",
 ]

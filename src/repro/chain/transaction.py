@@ -19,6 +19,19 @@ from repro.crypto.hashing import digest
 
 _TX_COUNTER = itertools.count()
 
+
+def reset_tx_counter() -> None:
+    """Restart uid allocation at zero.
+
+    Benchmark runs scope transaction uids to themselves (the Primary
+    resets before each run) so a run's serialized records are identical
+    no matter how many runs the process executed before it — the property
+    the sweep cache and the ``--workers N`` byte-identity guarantee rely
+    on.
+    """
+    global _TX_COUNTER
+    _TX_COUNTER = itertools.count()
+
 # Baseline payload sizes in bytes. A native transfer is roughly an Ethereum
 # legacy transaction; invocations add ABI-encoded call data.
 TRANSFER_SIZE = 110

@@ -18,12 +18,16 @@ workload is the same YAML dialect::
 
     python -m repro trace ethereum --duration 30 --chrome-trace out.json
 
+    python -m repro sweep experiments.yaml --workers 4
+
 ``run`` executes a YAML workload specification; ``suite`` runs one of the
-built-in DApp/synthetic traces; ``csv`` converts a results JSON file to the
-artifact's per-transaction CSV format; ``trace`` runs a short workload
-with full observability (lifecycle tracer + engine profiler) and prints
-the per-phase latency breakdown; ``chains`` and ``workloads`` list what
-is available.
+built-in DApp/synthetic traces; ``sweep`` executes a whole experiment
+matrix (chains × configurations × workloads × seeds × scales) over a
+worker pool with result caching; ``csv`` converts a results JSON file to
+the artifact's per-transaction CSV format; ``trace`` runs a short
+workload with full observability (lifecycle tracer + engine profiler)
+and prints the per-phase latency breakdown; ``chains`` and ``workloads``
+list what is available.
 """
 
 from __future__ import annotations
@@ -58,20 +62,15 @@ from repro.core.spec import (
 )
 from repro.sim.deployment import CONFIGURATIONS, get_configuration
 from repro.sim.faults import events_from_dicts
-from repro.workloads import (
-    constant_transfer_trace,
-    dapp_suite,
-    stock_trace,
-)
+from repro.workloads import workload_registry
+
+
+#: default on-disk result cache for ``python -m repro sweep``
+DEFAULT_CACHE_DIR = "~/.cache/repro/sweeps"
 
 
 def _available_workloads() -> dict:
-    suite = {f"dapp-{name}": trace for name, trace in dapp_suite().items()}
-    for stock in ("google", "amazon", "facebook", "microsoft", "apple"):
-        suite[f"nasdaq-{stock}"] = stock_trace(stock)
-    suite["native-1000"] = constant_transfer_trace(1_000)
-    suite["native-10000"] = constant_transfer_trace(10_000)
-    return suite
+    return workload_registry()
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -113,6 +112,62 @@ def _emit(result: BenchmarkResult, output: Optional[Path],
         print(json.dumps(result.summary(), indent=2))
 
 
+def _run_sweep_command(args: argparse.Namespace) -> int:
+    """``python -m repro sweep``: stream progress, print the table."""
+    from repro.obs import sweep_report
+    from repro.sweep import ResultCache, load_sweep, run_sweep
+
+    spec = load_sweep(args.spec.read_text())
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    total = len(spec.cells())
+    print(f"sweep {args.spec}: {spec.shape()}; workers={args.workers};"
+          f" cache={'off' if cache is None else cache.directory}",
+          file=sys.stderr)
+    finished = 0
+
+    def progress(event) -> None:
+        nonlocal finished
+        if args.quiet or event.kind in ("queued", "running"):
+            return
+        finished += 1
+        wall = (f"{event.wall_seconds:6.1f}s"
+                if event.wall_seconds is not None else "       ")
+        detail = f"  ({event.detail})" if event.detail else ""
+        print(f"[{finished:{len(str(total))}d}/{total}]"
+              f" {event.kind:6s} {event.cell.label}  {wall}{detail}",
+              file=sys.stderr)
+
+    sweep = run_sweep(spec, workers=args.workers, cache=cache,
+                      progress=progress)
+    if args.output_dir is not None:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+        summary = []
+        for outcome in sweep.outcomes:
+            cell = outcome.cell
+            name = (f"{cell.index:03d}-{cell.chain}-{cell.configuration.name}"
+                    f"-{cell.workload}-seed{cell.seed}.json")
+            if outcome.result_json is not None:
+                (args.output_dir / name).write_text(outcome.result_json)
+            summary.append({
+                "index": cell.index,
+                "label": cell.label,
+                "status": outcome.status,
+                "cached": outcome.cached,
+                "wall_seconds": round(outcome.wall_seconds, 3),
+                "file": name if outcome.result_json is not None else None,
+                "failure": (None if outcome.failure is None
+                            else str(outcome.failure)),
+            })
+        (args.output_dir / "sweep-summary.json").write_text(
+            json.dumps({"shape": spec.shape(),
+                        "metrics": sweep.metrics,
+                        "cells": summary}, indent=2))
+        print(f"wrote {args.output_dir}/sweep-summary.json", file=sys.stderr)
+    print(sweep_report(sweep))
+    crashed = [o for o in sweep.outcomes if o.result_json is None]
+    return 1 if crashed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="DIABLO blockchain benchmarks (simulated)")
@@ -129,6 +184,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_common(suite_parser)
     suite_parser.add_argument("--workload", required=True,
                               choices=sorted(_available_workloads()))
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="execute an experiment matrix (chains x configurations"
+        " x workloads x seeds x scales) over a worker pool, replaying"
+        " unchanged cells from the result cache")
+    sweep_parser.add_argument("spec", type=Path,
+                              help="sweep specification YAML file"
+                              " (see docs/SWEEPS.md)")
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes (1 = run inline;"
+                              " per-cell results are byte-identical either"
+                              " way)")
+    sweep_parser.add_argument("--cache-dir", type=Path,
+                              default=Path(DEFAULT_CACHE_DIR),
+                              help="result cache directory"
+                              f" (default: {DEFAULT_CACHE_DIR})")
+    sweep_parser.add_argument("--no-cache", action="store_true",
+                              help="recompute every cell, touch no cache")
+    sweep_parser.add_argument("--output-dir", type=Path, default=None,
+                              help="write per-cell results JSON and the"
+                              " sweep summary here")
+    sweep_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-cell progress lines")
 
     csv_parser = commands.add_parser(
         "csv", help="convert a results JSON file to per-transaction CSV")
@@ -270,6 +348,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.output is not None:
             args.output.write_text(result.to_json())
             print(f"wrote {args.output}", file=sys.stderr)
+    elif args.command == "sweep":
+        return _run_sweep_command(args)
     elif args.command == "csv":
         if args.results.suffix == ".gz":
             import gzip

@@ -175,6 +175,8 @@ class Primary:
         ``deadline``) additionally caps total simulated time — the guard
         against runaway experiments.
         """
+        from repro.chain.transaction import reset_tx_counter
+        reset_tx_counter()
         duration = spec.duration
         deadlines = [d for d in (spec.deadline, max_sim_seconds)
                      if d is not None]

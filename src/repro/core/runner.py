@@ -7,7 +7,7 @@ the workload, run, aggregate.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Union
 
 from repro.core.primary import DEFAULT_DRAIN, Primary
 from repro.core.results import BenchmarkResult
@@ -16,6 +16,9 @@ from repro.core.watchdog import DEFAULT_WINDOW
 from repro.obs import ObservabilityOptions
 from repro.sim.deployment import DeploymentConfig
 from repro.workloads.traces import Trace
+
+if TYPE_CHECKING:
+    from repro.sweep import ResultCache
 
 
 def run_benchmark(chain: str, deployment: Union[str, DeploymentConfig],
@@ -64,10 +67,44 @@ def run_matrix(chains: Iterable[str],
                trace: Trace,
                scale: Optional[float] = None,
                seed: int = 0,
-               **kwargs) -> Dict[str, BenchmarkResult]:
-    """Run the same trace against several chains (a figure column)."""
+               workers: int = 1,
+               cache: Optional["ResultCache"] = None,
+               accounts: int = 2_000,
+               clients: int = 1,
+               drain: float = DEFAULT_DRAIN,
+               max_sim_seconds: Optional[float] = None,
+               watchdog_window: float = DEFAULT_WINDOW,
+               observe: Optional[ObservabilityOptions] = None
+               ) -> Dict[str, BenchmarkResult]:
+    """Run the same trace against several chains (a figure column).
+
+    A thin wrapper over a one-row :class:`repro.sweep.SweepSpec`: pass
+    ``workers=N`` to fan the chains out over a process pool and
+    ``cache=ResultCache(...)`` to replay unchanged cells from disk —
+    single-worker, uncached calls behave exactly as before. A cell that
+    *crashes* re-raises here (matching the old serial behaviour);
+    watchdog-failed cells return their ``failed`` result like any other.
+    """
+    # imported here: repro.sweep imports this module for run_trace
+    from repro.sweep import CellOptions, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        chains=tuple(chains),
+        configurations=(deployment,),
+        workloads=(trace,),
+        seeds=(seed,),
+        scales=(scale,),
+        options=CellOptions(accounts=accounts, clients=clients, drain=drain,
+                            max_sim_seconds=max_sim_seconds,
+                            watchdog_window=watchdog_window,
+                            observe=observe))
+    sweep = run_sweep(spec, workers=workers, cache=cache)
     results: Dict[str, BenchmarkResult] = {}
-    for chain in chains:
-        results[chain] = run_trace(chain, deployment, trace,
-                                   scale=scale, seed=seed, **kwargs)
+    for outcome in sweep.outcomes:
+        if outcome.result_json is None:
+            failure = outcome.failure
+            raise RuntimeError(
+                f"benchmark cell {outcome.cell.label} crashed:"
+                f" {failure}\n{failure.traceback_text}")
+        results[outcome.cell.chain] = outcome.result
     return results

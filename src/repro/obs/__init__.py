@@ -39,6 +39,8 @@ from repro.obs.report import (
     consensus_table,
     hotspot_table,
     phase_table,
+    sweep_report,
+    sweep_table,
     trace_report,
 )
 from repro.obs.trace import TX_PHASES, LifecycleTracer, NullTracer, Span
@@ -84,6 +86,8 @@ __all__ = [
     "load_spans_jsonl",
     "phase_table",
     "spans_to_jsonl",
+    "sweep_report",
+    "sweep_table",
     "trace_report",
     "write_chrome_trace",
     "write_prometheus",

@@ -100,3 +100,54 @@ def trace_report(tracer: LifecycleTracer,
             hotspot_table(profiler, top=top),
         ]
     return "\n".join(lines)
+
+
+def sweep_table(sweep_result: Any) -> str:
+    """Aggregated comparison table of a sweep's cells, in cell order.
+
+    Takes a :class:`repro.sweep.runner.SweepResult` (duck-typed — this
+    module cannot import :mod:`repro.sweep`, which imports :mod:`repro.obs`
+    for its metrics registry). Crashed cells render their error in place
+    of the aggregates.
+    """
+    rows: List[Dict[str, Any]] = []
+    for outcome in sweep_result.outcomes:
+        cell = outcome.cell
+        row: Dict[str, Any] = {
+            "chain": cell.chain,
+            "configuration": cell.configuration.name,
+            "workload": cell.workload,
+            "seed": cell.seed,
+            "scale": f"{cell.scale:g}",
+        }
+        result = outcome.result
+        if result is not None:
+            row.update({
+                "status": result.status,
+                "tput_tps": round(result.average_throughput, 2),
+                "latency_s": _cell(result.average_latency),
+                "commit": round(result.commit_ratio, 4),
+            })
+        else:
+            row.update({
+                "status": f"crashed ({outcome.failure.error_type})",
+                "tput_tps": "-", "latency_s": "-", "commit": "-",
+            })
+        row["cache"] = "hit" if outcome.cached else "miss"
+        rows.append(row)
+    return format_table(rows)
+
+
+def sweep_report(sweep_result: Any) -> str:
+    """The ``python -m repro sweep`` stdout report: table, metrics, verdict."""
+    lines = [sweep_table(sweep_result), ""]
+    simulated = sweep_result.metrics.get("sweep.cell_wall_seconds")
+    total = len(sweep_result.outcomes)
+    if simulated and simulated < total:
+        lines.append(f"simulated cells: {simulated} of {total}"
+                     f" (the rest replayed from the result cache)")
+    for outcome in sweep_result.failures:
+        failure = outcome.failure
+        lines.append(f"failed: {outcome.cell.label} — {failure}")
+    lines.append(sweep_result.summary_line())
+    return "\n".join(lines)

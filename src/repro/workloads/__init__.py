@@ -35,6 +35,18 @@ def dapp_suite() -> dict:
     }
 
 
+def workload_registry() -> dict:
+    """Every named workload trace: the vocabulary of ``--workload`` and of
+    sweep specifications (``dapp-*``, ``nasdaq-*``, ``native-*``)."""
+    registry = {f"dapp-{name}": trace for name, trace in dapp_suite().items()}
+    for stock in ("google", "amazon", "facebook", "microsoft", "apple"):
+        registry[f"nasdaq-{stock}"] = stock_trace(stock)
+    registry["native-100"] = constant_transfer_trace(100)
+    registry["native-1000"] = constant_transfer_trace(1_000)
+    registry["native-10000"] = constant_transfer_trace(10_000)
+    return registry
+
+
 __all__ = [
     "STOCK_PROFILES",
     "Trace",
@@ -54,5 +66,6 @@ __all__ = [
     "sinusoid",
     "stock_trace",
     "uber_trace",
+    "workload_registry",
     "youtube_trace",
 ]

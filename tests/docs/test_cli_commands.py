@@ -1,0 +1,57 @@
+"""Every ``python -m repro ...`` command quoted in the docs must parse.
+
+Documentation drifts when CLI flags change under it (it happened to
+EXPERIMENTS.md once already). This test walks README.md, EXPERIMENTS.md
+and everything under docs/, extracts each quoted ``python -m repro``
+invocation, and asserts its subcommand still exists and its ``--help``
+exits 0 — so a renamed or removed subcommand fails CI with the name of
+the file that still quotes it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: markdown files whose quoted commands are contractual
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "EXPERIMENTS.md"]
+    + list((REPO_ROOT / "docs").glob("*.md")))
+
+_COMMAND_RE = re.compile(r"python -m repro\s+([a-z][a-z0-9-]*)")
+
+
+def quoted_subcommands() -> list:
+    """Each (doc file, subcommand) pair found in the documentation."""
+    found = []
+    for path in DOC_FILES:
+        for match in _COMMAND_RE.finditer(path.read_text()):
+            found.append((path.name, match.group(1)))
+    return sorted(set(found))
+
+
+def test_docs_actually_quote_commands():
+    """Guard the guard: the extraction must keep finding commands."""
+    names = {command for _, command in quoted_subcommands()}
+    assert {"run", "suite", "sweep", "trace"} <= names
+
+
+@pytest.mark.parametrize("doc,command", quoted_subcommands(),
+                         ids=lambda value: str(value))
+def test_quoted_command_parses(doc, command):
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+    assert excinfo.value.code == 0, (
+        f"{doc} quotes 'python -m repro {command}' but"
+        f" '--help' exited {excinfo.value.code}")
+    assert command in stdout.getvalue()
