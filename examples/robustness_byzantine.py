@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Byzantine robustness: adversarial replicas vs. the consensus stack.
+
+Reproduces: no single figure — it extends §6.3's robustness theme from
+crash faults to *Byzantine* faults. Every message-level protocol in the
+consensus stack runs with k = 0 .. f+1 adversarial replicas (k replicas
+double-sign every value they relay), and a :class:`SafetyAuditor`
+watches agreement, total order and certificate validity online while a
+liveness grade tracks whether honest replicas keep committing.
+
+The cliff the sweep makes visible:
+
+* the quorum-BFT protocols (HotStuff/DiemBFT, IBFT, Tower BFT,
+  Algorand BA*) absorb k <= f equivocators — the honest 2f+1 quorum
+  outvotes every fork — and IBFT forks deterministically at k = f+1,
+  the textbook bound;
+* Raft is crash-fault tolerant only: a single equivocating leader
+  halts replication (a liveness, not safety, failure);
+* Clique trusts its authority list, so one double-signing sealer forks
+  the audience into chains that disagree on which heights exist;
+* Snowball's tolerance is probabilistic: one equivocator biases the
+  metastable sampling but small committees usually still collapse to
+  one value.
+
+Run with ``python examples/robustness_byzantine.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.consensus.testbed import PROTOCOLS, run_audited
+from repro.sim.byzantine import ByzantineSchedule, Equivocate
+
+
+def sweep_protocol(protocol: str, max_adversaries: int) -> List[Dict]:
+    """Run *protocol* with k = 0..max_adversaries equivocating replicas."""
+    rows = []
+    recipe = PROTOCOLS[protocol]
+    for k in range(max_adversaries + 1):
+        schedule = ByzantineSchedule(tuple(
+            Equivocate(node=node, start=0.0, stop=recipe.until)
+            for node in range(k)))
+        harness, auditor = run_audited(protocol, schedule)
+        byzantine = set(schedule.nodes())
+        honest = [d for d in harness.decisions if d.node not in byzantine]
+        rows.append({
+            "protocol": protocol,
+            "adversaries": k,
+            "safety": auditor.verdict,
+            "liveness": auditor.liveness_grade(),
+            "honest_decisions": len(honest),
+            "violations": len(auditor.report()["violations"]),
+        })
+    return rows
+
+
+def print_table(rows: List[Dict]) -> None:
+    header = (f"{'protocol':10s} {'k':>2s} {'safety':9s} {'liveness':9s}"
+              f" {'honest':>7s} {'violations':>10s}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['protocol']:10s} {row['adversaries']:2d}"
+              f" {row['safety']:9s} {row['liveness']:9s}"
+              f" {row['honest_decisions']:7d} {row['violations']:10d}")
+
+
+def main() -> None:
+    all_rows: List[Dict] = []
+    for protocol, recipe in PROTOCOLS.items():
+        f = recipe.byzantine_f(recipe.default_n)
+        # sweep past the tolerance bound: 0..f+1 adversaries (for the
+        # zero-tolerance protocols that is simply k in {0, 1})
+        all_rows.extend(sweep_protocol(protocol, f + 1))
+    print_table(all_rows)
+    print()
+    safe = [r for r in all_rows
+            if r["adversaries"] <= PROTOCOLS[r["protocol"]].byzantine_f(
+                PROTOCOLS[r["protocol"]].default_n)
+            and r["safety"] != "ok"]
+    if safe:
+        print("UNEXPECTED: safety violations within tolerance:", safe)
+    else:
+        print("all protocols preserved safety within their tolerance"
+              " bound; beyond it the auditor reports the forks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -361,6 +361,11 @@ class BlockchainNetwork:
         self._commit_listeners: List[Callable[[Transaction], None]] = []
         # fault injection + client retries
         self.injector: Optional[FaultInjector] = None
+        #: byzantine adversary schedule (repro.sim.byzantine); None = benign
+        self.byzantine_schedule: Optional[Any] = None
+        # block attempts denied an honest quorum by the adversary
+        self._byzantine_stalled_blocks = chain_metrics.counter(
+            "byzantine_stalled_blocks")
         # production rounds skipped: no live quorum
         self._stalled_rounds = chain_metrics.counter("stalled_rounds")
         self._retry_rng = self.rng.stream("client", "retry-jitter")
@@ -417,6 +422,27 @@ class BlockchainNetwork:
         """Drive this chain's nodes with *injector*'s fault schedule."""
         self.injector = injector
         injector.register(self.engine)
+
+    def attach_byzantine(self, schedule: Any) -> None:
+        """Degrade this chain's analytic model per a Byzantine schedule.
+
+        Each sealed block samples the schedule's active adversarial
+        fraction and applies the model's quorum-formation penalties
+        (``ConsensusPerfModel.apply_byzantine``); fractions at or beyond
+        the model's tolerance fail the attempt, so the block returns to
+        the pool until the adversary stops. An empty (or ``None``)
+        schedule detaches — the benign path is untouched.
+        """
+        if schedule is None or len(schedule) == 0:
+            self.byzantine_schedule = None
+            return
+        self.byzantine_schedule = schedule
+        if self.tracer is not None:
+            from repro.sim.byzantine import byzantine_event_kind
+            for index, event in enumerate(schedule):
+                self.tracer.adversary_window(
+                    index, byzantine_event_kind(event),
+                    event.start, event.stop, event.node)
 
     def _node_available(self, index: int) -> bool:
         if self.injector is None:
@@ -797,7 +823,20 @@ class BlockchainNetwork:
             backlog=backlog_unscaled,
             leader_region=leader.region,
             arrival_rate=self.arrival_rate())
+        if self.byzantine_schedule is not None:
+            self.model.set_byzantine_fraction(
+                self.byzantine_schedule.active_fraction(
+                    self.engine.now, len(self.endpoints)))
         outcome = self.model.decide(attempt)
+        if self.byzantine_schedule is not None:
+            was_committed = outcome.committed
+            outcome = self.model.apply_byzantine(outcome)
+            if was_committed and not outcome.committed:
+                self._byzantine_stalled_blocks.inc()
+                if self.tracer is not None:
+                    self.tracer.adversary_action(
+                        self.engine.now, "quorum_denied",
+                        height=self.ledger.height + 1)
         self._view_changes.inc(outcome.view_changes + skipped)
         latency = outcome.latency + skipped * max(self._last_round_latency, 0.5)
         self._last_round_latency = max(latency, 1e-3)
@@ -934,4 +973,8 @@ class BlockchainNetwork:
         if self.injector is not None:
             stats["stalled_rounds"] = self.stalled_rounds
             stats["fault_events_applied"] = len(self.injector.events_applied)
+        if self.byzantine_schedule is not None:
+            stats["byzantine_stalled_blocks"] = (
+                self._byzantine_stalled_blocks.value)
+            stats["byzantine_events"] = len(self.byzantine_schedule)
         return stats

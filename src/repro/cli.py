@@ -60,6 +60,7 @@ from repro.core.spec import (
     TransferSpec,
     simple_spec,
 )
+from repro.consensus.testbed import PROTOCOLS, protocol_for_chain
 from repro.sim.deployment import CONFIGURATIONS, get_configuration
 from repro.sim.faults import events_from_dicts
 from repro.workloads import workload_registry
@@ -110,6 +111,59 @@ def _emit(result: BenchmarkResult, output: Optional[Path],
             print(f"wrote {output}", file=sys.stderr)
     if stat or output is None:
         print(json.dumps(result.summary(), indent=2))
+
+
+def _run_byzantine_command(args: argparse.Namespace) -> int:
+    """``python -m repro byzantine``: adversary demo + safety audit."""
+    from repro.consensus.testbed import run_audited
+    from repro.sim.byzantine import (
+        ByzantineSchedule,
+        CensorLeader,
+        DelayReorder,
+        Equivocate,
+        Silence,
+    )
+
+    protocol = (args.byz_chain if args.byz_chain in PROTOCOLS
+                else protocol_for_chain(args.byz_chain))
+    recipe = PROTOCOLS[protocol]
+    n = recipe.default_n if args.nodes is None else args.nodes
+    until = recipe.until if args.until is None else args.until
+    stop = until if args.stop is None else args.stop
+    kinds = {"equivocate": Equivocate, "silence": Silence,
+             "delay": DelayReorder, "censor": CensorLeader}
+    kind = kinds[args.behavior]
+    count = max(0, min(args.equivocators, n))
+    schedule = ByzantineSchedule(tuple(
+        kind(node=node, start=args.start, stop=stop)
+        for node in range(count)))
+    schedule.validate(n)
+    f = recipe.byzantine_f(n)
+    print(f"protocol: {protocol} (chain argument {args.byz_chain}),"
+          f" n={n}, tolerates f={f}")
+    print(f"adversary: {count} x {args.behavior} on replicas"
+          f" {sorted(schedule.nodes())},"
+          f" window [{args.start:g}, {stop:g})")
+    harness, auditor = run_audited(protocol, schedule, n=n,
+                                   seed=args.seed, until=until)
+    byzantine = set(schedule.nodes())
+    honest = [d for d in harness.decisions if d.node not in byzantine]
+    stats = harness.stats()
+    interventions = ", ".join(
+        f"{name}={value}" for name, value in sorted(stats.items())
+        if name.startswith("byzantine_")) or "none"
+    print(f"interventions: {interventions}")
+    print(f"decisions: total={len(harness.decisions)}"
+          f" honest={len(honest)}")
+    grade = auditor.liveness_grade(window=(args.start, stop), until=until)
+    print(f"liveness: {grade}")
+    print(f"safety: {auditor.verdict}")
+    for line in auditor.forensic_lines():
+        print(f"  {line}")
+    if args.report is not None:
+        args.report.write_text(json.dumps(auditor.report(), indent=2))
+        print(f"wrote {args.report}", file=sys.stderr)
+    return 0 if auditor.verdict == "ok" else 1
 
 
 def _run_sweep_command(args: argparse.Namespace) -> int:
@@ -238,6 +292,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     overload_parser.add_argument("--drain", type=float, default=120.0,
                                  help="post-load drain budget (seconds)")
 
+    byz_parser = commands.add_parser(
+        "byzantine", help="Byzantine adversary demo: runs the chain's"
+        " message-level consensus protocol with adversarial replicas"
+        " under a SafetyAuditor; exits nonzero on a safety violation")
+    byz_parser.add_argument("byz_chain", metavar="chain",
+                            choices=sorted(set(CHAIN_NAMES)
+                                           | set(PROTOCOLS)),
+                            help="benchmark chain (or a protocol name"
+                            " directly: hotstuff, ibft, tower, ...)")
+    byz_parser.add_argument("--equivocators", type=int, default=1,
+                            help="how many replicas misbehave (indices"
+                            " 0..k-1)")
+    byz_parser.add_argument("--behavior", default="equivocate",
+                            choices=("equivocate", "silence", "delay",
+                                     "censor"),
+                            help="what the adversarial replicas do")
+    byz_parser.add_argument("--nodes", type=int, default=None,
+                            help="cluster size (default: the protocol"
+                            " recipe's)")
+    byz_parser.add_argument("--start", type=float, default=0.0,
+                            help="attack window start (seconds)")
+    byz_parser.add_argument("--stop", type=float, default=None,
+                            help="attack window end (default: whole run)")
+    byz_parser.add_argument("--until", type=float, default=None,
+                            help="simulated horizon (default: the"
+                            " protocol recipe's)")
+    byz_parser.add_argument("--seed", type=int, default=None)
+    byz_parser.add_argument("--report", type=Path, default=None,
+                            help="write the auditor's forensic report"
+                            " JSON here")
+
     trace_parser = commands.add_parser(
         "trace", help="run a short workload with lifecycle tracing and"
         " engine profiling; print the per-phase latency breakdown")
@@ -323,6 +408,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                watchdog_window=args.watchdog_window)
         _emit(result, args.output, args.stat, args.compress)
         print(degradation_report(result))
+    elif args.command == "byzantine":
+        return _run_byzantine_command(args)
     elif args.command == "trace":
         spec = simple_spec(
             TransferSpec(AccountSample(args.accounts)),

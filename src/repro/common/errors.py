@@ -27,6 +27,17 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class SafetyViolationError(SimulationError):
+    """A consensus safety invariant (agreement, total order, certificate
+    validity) was violated during a run — raised by the ``SafetyAuditor``
+    in strict mode, carrying the forensic report of the first violation."""
+
+    def __init__(self, message: str, violation=None) -> None:
+        super().__init__(message)
+        #: forensic record: check, height, nodes, conflicting values, times
+        self.violation = violation
+
+
 class NetworkError(SimulationError):
     """A message could not be delivered by the simulated network."""
 

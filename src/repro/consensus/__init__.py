@@ -1,6 +1,7 @@
 """Consensus protocols: message-level implementations and analytic models."""
 
 from repro.consensus.algorand import AlgorandReplica, sortition
+from repro.consensus.auditor import SafetyAuditor
 from repro.consensus.avalanche import SnowballReplica
 from repro.consensus.base import (
     ConsensusHarness,
@@ -44,6 +45,7 @@ __all__ = [
     "QuorumCertificate",
     "RaftReplica",
     "Replica",
+    "SafetyAuditor",
     "SnowballReplica",
     "TowerReplica",
     "WanProfile",

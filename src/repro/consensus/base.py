@@ -138,7 +138,9 @@ class ConsensusHarness:
                  regions: Optional[Iterable[str]] = None,
                  seed: int = 0,
                  drop_rate: float = 0.0,
-                 injector: Optional[FaultInjector] = None) -> None:
+                 injector: Optional[FaultInjector] = None,
+                 adversary: Optional[Any] = None,
+                 auditor: Optional[Any] = None) -> None:
         self.engine = engine or Engine()
         self.replicas = list(replicas)
         self.n = len(self.replicas)
@@ -174,6 +176,18 @@ class ConsensusHarness:
         for node_id, replica in enumerate(self.replicas):
             replica.node_id = node_id
             replica.harness = self
+        # byzantine adversary + safety auditor (repro.sim.byzantine /
+        # repro.consensus.auditor). An adversary with an empty schedule is
+        # normalised to None so benign runs never consult it — the no-op
+        # contract that keeps them byte-identical to pre-adversary runs.
+        self.adversary = None
+        if adversary is not None and len(adversary.schedule):
+            self.adversary = adversary
+            adversary.bind(self)
+        self.auditor = auditor
+        if auditor is not None:
+            auditor.bind(self, self.adversary.nodes()
+                         if self.adversary is not None else ())
 
     # -- registry views ---------------------------------------------------------------
 
@@ -240,9 +254,20 @@ class ConsensusHarness:
             self._dropped_by_fault.inc()
             return
         extra_latency = 0.0
+        if self.adversary is not None:
+            message, adversary_delay = self.adversary.intervene(
+                sender, target, message, self.engine.now)
+            if message is None:
+                return
+            extra_latency += adversary_delay
+        # audited post-adversary: forked variants count as endorsements
+        # (they are really signed and sent), withheld ones never do
+        if self.auditor is not None:
+            self.auditor.observe_message(sender, target, message)
         if sender != target:
-            extra_latency, fault_drop = self._link_faults(
+            link_latency, fault_drop = self._link_faults(
                 sender, target, sender_region, target_region)
+            extra_latency += link_latency
             if fault_drop > 0 and float(self._fault_rng.random()) < fault_drop:
                 self._dropped_by_fault.inc()
                 return
@@ -279,17 +304,23 @@ class ConsensusHarness:
 
     def stats(self) -> Dict[str, int]:
         """Routing statistics, fault losses accounted separately."""
-        return {
+        stats = {
             "messages_routed": self.messages_routed,
             "dropped_by_crash": self.dropped_by_crash,
             "dropped_by_fault": self.dropped_by_fault,
             "dropped_by_loss": self.dropped_by_loss,
         }
+        if self.adversary is not None:
+            for name, value in self.adversary.counters().items():
+                stats[f"byzantine_{name}"] = value
+        return stats
 
     # -- decisions -------------------------------------------------------------------
 
     def record_decision(self, decision: Decision) -> None:
         self.decisions.append(decision)
+        if self.auditor is not None:
+            self.auditor.observe_decision(decision)
 
     def decisions_by_node(self) -> Dict[int, List[Decision]]:
         result: Dict[int, List[Decision]] = {i: [] for i in range(self.n)}

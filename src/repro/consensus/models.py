@@ -154,9 +154,64 @@ class ConsensusPerfModel:
     overload_gamma: float = 0.0
     #: lower bound on the payload multiplier (0 = may collapse entirely)
     payload_floor: float = 0.0
+    #: fraction of adversarial validators the protocol tolerates before
+    #: quorum formation among honest replicas becomes impossible (BFT
+    #: families: f/n < 1/3; proof-of-authority tolerates any minority of
+    #: sealers for liveness and overrides this)
+    byzantine_tolerance: float = 1.0 / 3.0
 
     def __init__(self, profile: WanProfile) -> None:
         self.profile = profile
+        # declared adversarial fraction, driven per block by the runtime
+        # from its ByzantineSchedule (repro.sim.byzantine); zero = benign
+        self.byzantine_fraction = 0.0
+        self._byz_view_change_acc = 0.0
+
+    # -- byzantine degradation ---------------------------------------------------
+
+    def set_byzantine_fraction(self, fraction: float) -> None:
+        """Declare the adversarial validator fraction for upcoming blocks."""
+        self.byzantine_fraction = max(0.0, float(fraction))
+
+    def _byzantine_round_penalty(self) -> float:
+        """Seconds one adversary-induced timeout/extra round costs."""
+        return 4.0 * self.profile.rtt_quantile(0.9) + 1.0
+
+    def apply_byzantine(self, outcome: DecisionOutcome) -> DecisionOutcome:
+        """Degrade a benign decision for the declared Byzantine fraction.
+
+        Below the tolerance threshold, quorum formation waits on honest
+        replicas only — the vote phase stretches by ``1/(1 - b/tolerance)``
+        (capped) — and adversarial leader slots surface as extra view
+        changes at a deterministic rate of *b* per block. At or beyond the
+        threshold the honest quorum cannot form at all: the attempt burns
+        a timeout round and fails, leaving the block for a retry once the
+        adversary stops.
+        """
+        b = self.byzantine_fraction
+        if b <= 0.0:
+            return outcome
+        penalty = self._byzantine_round_penalty()
+        if b >= self.byzantine_tolerance:
+            return DecisionOutcome(
+                penalty, committed=False,
+                view_changes=outcome.view_changes + 1,
+                breakdown={"byzantine": penalty})
+        stretch = min(8.0, 1.0 / (1.0 - b / self.byzantine_tolerance))
+        breakdown = dict(outcome.breakdown or {})
+        vote_part = breakdown.get("vote", outcome.latency)
+        extra = vote_part * (stretch - 1.0)
+        # b of the leader slots belong to the adversary: accumulate them
+        # into whole wasted rounds deterministically
+        self._byz_view_change_acc += b
+        extra_view_changes = int(self._byz_view_change_acc)
+        self._byz_view_change_acc -= extra_view_changes
+        extra += extra_view_changes * penalty
+        breakdown["byzantine"] = extra
+        return DecisionOutcome(
+            outcome.latency + extra, committed=outcome.committed,
+            view_changes=outcome.view_changes + extra_view_changes,
+            breakdown=breakdown)
 
     # -- scheduling --------------------------------------------------------------
 
@@ -232,6 +287,10 @@ class LeaderBFTPerf(ConsensusPerfModel):
         self.per_node_overhead = per_node_overhead
         self._current_timeout = round_timeout
         self._last_had_view_change = False
+
+    def _byzantine_round_penalty(self) -> float:
+        # a wasted adversarial leader round costs a full round timeout
+        return self.base_round_timeout
 
     def next_block_delay(self, last_round_latency: float) -> float:
         # rounds serialize; chained HotStuff overlaps its phases, so the
@@ -413,6 +472,10 @@ class CliquePerf(ConsensusPerfModel):
     cadence is the fixed block period (§5.2: "This version still requires a
     minimum period between consecutive blocks").
     """
+
+    #: proof-of-authority has no quorum; liveness survives any minority of
+    #: misbehaving sealers (safety does not — see the byzantine example)
+    byzantine_tolerance: float = 0.5
 
     def __init__(self, profile: WanProfile, period: float = 5.0,
                  overload_gamma: float = 0.10) -> None:

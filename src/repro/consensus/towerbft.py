@@ -47,7 +47,10 @@ class TowerReplica(Replica):
         self.root_depth = root_depth
         self.blocks: Dict[int, PoHBlock] = {
             0: PoHBlock(0, -1, -1, value=None)}
-        self.votes: Dict[int, Set[int]] = {}  # slot -> voters
+        # slot -> bank hash -> voters. Votes name the hash of the bank they
+        # lock on (as real Tower votes do), so votes for conflicting forks of
+        # one slot never pool into a single supermajority.
+        self.votes: Dict[int, Dict[str, Set[int]]] = {}
         self.tower: List[int] = []            # own vote stack (slots)
         self.rooted_up_to = 0
         self._decided: Set[int] = set()
@@ -55,6 +58,11 @@ class TowerReplica(Replica):
 
     def leader_of(self, slot: int) -> int:
         return slot % self.n
+
+    @staticmethod
+    def bank_hash(block: PoHBlock) -> str:
+        """Stand-in for the bank hash a Solana vote signs over."""
+        return f"s{block.slot}:{block.value}"
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -96,7 +104,8 @@ class TowerReplica(Replica):
                     self._vote(block.slot)
         elif message.kind == "vote":
             slot = message.payload["slot"]
-            voters = self.votes.setdefault(slot, set())
+            bank = message.payload["hash"]
+            voters = self.votes.setdefault(slot, {}).setdefault(bank, set())
             voters.add(message.sender)
             self._try_root()
 
@@ -108,9 +117,12 @@ class TowerReplica(Replica):
         self.tower.append(slot)
         if len(self.tower) > 32:
             self.tower.pop(0)
-        self.votes.setdefault(slot, set()).add(self.node_id)
+        bank = self.bank_hash(self.blocks[slot])
+        self.votes.setdefault(slot, {}).setdefault(bank, set()).add(
+            self.node_id)
         self.count("votes_cast")
-        self.broadcast(Message("vote", self.node_id, {"slot": slot}),
+        self.broadcast(Message("vote", self.node_id,
+                               {"slot": slot, "hash": bank}),
                        include_self=False)
         self._try_root()
 
@@ -121,10 +133,17 @@ class TowerReplica(Replica):
 
     def _try_root(self) -> None:
         """Root every slot that has a supermajority-voted descendant chain
-        at least ``root_depth`` slots deeper."""
+        at least ``root_depth`` slots deeper.
+
+        A slot only counts when the supermajority formed on the bank hash
+        of the block *this* validator holds — votes on a conflicting fork
+        of the slot are tallied separately and cannot root our copy.
+        """
         threshold = self._supermajority()
-        voted_slots = sorted(s for s, voters in self.votes.items()
-                             if len(voters) >= threshold and s in self.blocks)
+        voted_slots = sorted(
+            s for s, by_hash in self.votes.items() if s in self.blocks
+            and len(by_hash.get(self.bank_hash(self.blocks[s]), ()))
+            >= threshold)
         if not voted_slots:
             return
         deepest = voted_slots[-1]

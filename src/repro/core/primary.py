@@ -159,6 +159,20 @@ class Primary:
                 for behavior in group.client.behaviors:
                     matching[index].assign(clients, behavior)
 
+    def _validate_schedules(self, schedule, byzantine) -> None:
+        """Fail fast on fault/byzantine events naming unknown targets.
+
+        Node keys the deployment answers for: endpoint indices, endpoint
+        names and region tags (the injector is key-agnostic, so a spec
+        may use any of them). Raises ``SpecError`` before anything runs.
+        """
+        endpoints = self.network.endpoints
+        nodes = (set(range(len(endpoints)))
+                 | {ep.name for ep in endpoints})
+        regions = set(self.deployment.regions)
+        schedule.validate(nodes | regions, regions)
+        byzantine.validate(len(endpoints))
+
     # -- the run ------------------------------------------------------------------------
 
     def run(self, spec: WorkloadSpec, workload_name: str = "workload",
@@ -185,8 +199,12 @@ class Primary:
         self._build_secondaries(spec)
         self._dispatch(spec)
         schedule = spec.fault_schedule()
+        byzantine = spec.byzantine_schedule()
+        self._validate_schedules(schedule, byzantine)
         if len(schedule):
             self.network.attach_faults(FaultInjector(schedule))
+        if len(byzantine):
+            self.network.attach_byzantine(byzantine)
         self.network.active_until = duration
         watchdog = LivenessWatchdog(self.engine, self.network,
                                     window=watchdog_window)
@@ -237,6 +255,12 @@ class Primary:
                    liveness_events: Optional[List[Dict]] = None
                    ) -> BenchmarkResult:
         schedule = spec.fault_schedule()
+        # byzantine windows merge into the fault-event record, so the
+        # degradation metrics (fault_window, commit ratios, recovery
+        # time) cover adversarial runs without a second code path
+        fault_events = sorted(
+            schedule.summaries() + spec.byzantine_schedule().summaries(),
+            key=lambda e: e["at"])
         result = BenchmarkResult(
             chain=self.chain_name,
             configuration=self.deployment.name,
@@ -244,7 +268,7 @@ class Primary:
             duration=duration,
             scale=self.scale.factor,
             chain_stats=self.network.stats(),
-            fault_events=schedule.summaries(),
+            fault_events=fault_events,
             status=status,
             liveness_events=list(liveness_events or []),
             overload_events=list(self.network.overload_events))

@@ -202,15 +202,31 @@ class BenchmarkResult:
     # -- fault degradation metrics -------------------------------------------------------
 
     def fault_window(self) -> Optional[Tuple[float, float]]:
-        """(first disruption, last repair) from the recorded fault events."""
-        if not self.fault_events:
-            return None
-        start = min(e["at"] for e in self.fault_events)
-        end = start
+        """(first disruption, last repair) from the recorded fault events.
+
+        Only *disruptive* events open the window — a schedule of repairs
+        alone (recover/heal/zero-zero link restores) yields ``None``.
+        Byzantine misbehaviour windows count as disruptions (they carry a
+        ``duration``) so the degradation metrics cover adversarial runs
+        unchanged.
+        """
+        start: Optional[float] = None
+        end = 0.0
         for event in self.fault_events:
-            close = event["at"] + event.get("duration", 0.0)
-            end = max(end, close)
-        return start, end
+            kind = event.get("kind")
+            is_repair = kind in ("recover", "heal", "region_heal") or (
+                kind == "link_degrade"
+                and event.get("extra_latency", 0.0) <= 0
+                and event.get("drop_rate", 0.0) <= 0)
+            if is_repair:
+                end = max(end, event["at"])
+                continue
+            if start is None or event["at"] < start:
+                start = event["at"]
+            end = max(end, event["at"] + event.get("duration", 0.0))
+        if start is None:
+            return None
+        return start, max(start, end)
 
     def commit_ratio_between(self, t0: float, t1: float) -> float:
         """Commits landing in [t0, t1) per submission made in [t0, t1).

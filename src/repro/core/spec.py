@@ -40,6 +40,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import yaml
 
 from repro.common.errors import SpecError
+from repro.sim.byzantine import (
+    ByzantineEvent,
+    ByzantineSchedule,
+    byzantine_events_from_dicts,
+)
 from repro.sim.faults import FaultEvent, FaultSchedule, events_from_dicts
 
 # -- samples (the `let:` bindings) --------------------------------------------
@@ -234,6 +239,11 @@ class WorkloadSpec:
     to the chain's validators while the workload runs — see
     :mod:`repro.sim.faults` for the event vocabulary and the YAML syntax.
 
+    ``byzantine`` is an optional schedule of adversarial misbehaviour
+    windows (equivocation, vote withholding, delay/reorder, leader
+    censorship) declared per validator — see :mod:`repro.sim.byzantine`.
+    It composes with ``faults``: both sections may appear in one spec.
+
     ``deadline`` is an optional cap on total simulated seconds (load plus
     drain): a run that would outlive it is cut short and marked ``failed``
     — the guard against overloaded chains that never drain.
@@ -241,6 +251,7 @@ class WorkloadSpec:
 
     workloads: Tuple[WorkloadGroup, ...]
     faults: Tuple[FaultEvent, ...] = ()
+    byzantine: Tuple[ByzantineEvent, ...] = ()
     deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
@@ -250,10 +261,15 @@ class WorkloadSpec:
             raise SpecError(f"deadline must be positive: {self.deadline}")
         # validate eagerly so a bad schedule fails at parse time
         FaultSchedule(self.faults)
+        ByzantineSchedule(self.byzantine)
 
     def fault_schedule(self) -> FaultSchedule:
         """The fault events as a validated, time-ordered schedule."""
         return FaultSchedule(self.faults)
+
+    def byzantine_schedule(self) -> ByzantineSchedule:
+        """The byzantine events as a validated, time-ordered schedule."""
+        return ByzantineSchedule(self.byzantine)
 
     @property
     def duration(self) -> float:
@@ -381,6 +397,11 @@ def spec_from_dict(document: Dict[str, Any]) -> WorkloadSpec:
     if raw_faults and not isinstance(raw_faults, (list, tuple)):
         raise SpecError("'faults' must be a list of fault events")
     faults = events_from_dicts(raw_faults) if raw_faults else ()
+    raw_byzantine = document.get("byzantine", ())
+    if raw_byzantine and not isinstance(raw_byzantine, (list, tuple)):
+        raise SpecError("'byzantine' must be a list of byzantine events")
+    byzantine = (byzantine_events_from_dicts(raw_byzantine)
+                 if raw_byzantine else ())
     raw_deadline = document.get("deadline")
     if raw_deadline is not None:
         try:
@@ -388,7 +409,8 @@ def spec_from_dict(document: Dict[str, Any]) -> WorkloadSpec:
         except (TypeError, ValueError):
             raise SpecError(
                 f"'deadline' must be a number, got {raw_deadline!r}") from None
-    return WorkloadSpec(tuple(groups), faults=faults, deadline=raw_deadline)
+    return WorkloadSpec(tuple(groups), faults=faults, byzantine=byzantine,
+                        deadline=raw_deadline)
 
 
 def load_spec(text: str) -> WorkloadSpec:
@@ -403,6 +425,7 @@ def simple_spec(interaction: Interaction, load: LoadSchedule,
                 clients: int = 1, location: str = ".*",
                 view: str = ".*",
                 faults: Tuple[FaultEvent, ...] = (),
+                byzantine: Tuple[ByzantineEvent, ...] = (),
                 deadline: Optional[float] = None) -> WorkloadSpec:
     """Programmatic shorthand: one workload group, one behaviour."""
     return WorkloadSpec((WorkloadGroup(
@@ -411,4 +434,4 @@ def simple_spec(interaction: Interaction, load: LoadSchedule,
             location=LocationSample((location,)),
             view=EndpointSample((view,)),
             behaviors=(Behavior(interaction, load),))),),
-        faults=faults, deadline=deadline)
+        faults=faults, byzantine=byzantine, deadline=deadline)

@@ -48,7 +48,7 @@ TX_PHASES: Tuple[str, ...] = (
 class Span:
     """One closed interval of a traced entity's lifecycle."""
 
-    scope: str              # "tx" | "block"
+    scope: str              # "tx" | "block" | "byzantine"
     key: int                # transaction uid or block trace id
     phase: str              # one of TX_PHASES, or a consensus sub-phase
     start: float
@@ -113,6 +113,13 @@ class NullTracer:
         pass
 
     def block_requeued(self, block_id: int, t: float) -> None:
+        pass
+
+    def adversary_window(self, index: int, kind: str, start: float,
+                         stop: float, node: Any) -> None:
+        pass
+
+    def adversary_action(self, t: float, action: str, **info: Any) -> None:
         pass
 
 
@@ -264,6 +271,24 @@ class LifecycleTracer(NullTracer):
         self.events.append({"t": t, "kind": "block_requeued",
                             "block": block_id,
                             "height": record["height"] if record else None})
+
+    # -- byzantine adversary hooks ---------------------------------------------------
+
+    def adversary_window(self, index: int, kind: str, start: float,
+                         stop: float, node: Any) -> None:
+        """One scheduled misbehaviour window as a span on the sim clock,
+        so the attack interval renders next to the blocks it degrades."""
+        self.spans.append(Span(
+            "byzantine", index, kind, start, stop,
+            meta=(("chain", self.chain), ("height", index),
+                  ("node", node))))
+
+    def adversary_action(self, t: float, action: str, **info: Any) -> None:
+        """One adversarial intervention (a forked/withheld/delayed send)."""
+        self.events.append({"t": t, "kind": f"byzantine_{action}", **info})
+
+    def byzantine_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.scope == "byzantine"]
 
     # -- aggregation -----------------------------------------------------------------
 

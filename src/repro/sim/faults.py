@@ -33,7 +33,7 @@ from typing import (
     Tuple,
 )
 
-from repro.common.errors import SimulationError
+from repro.common.errors import SimulationError, SpecError
 from repro.sim.engine import Engine
 
 NodeKey = Hashable
@@ -249,20 +249,71 @@ class FaultSchedule:
     def fault_window(self) -> Optional[Tuple[float, float]]:
         """(first disruption, last repair) — the degraded interval.
 
-        The window opens at the first event and closes at the latest
-        recovery/heal time (region outages close at ``time + duration``).
-        Schedules that never repair close at their last event time.
+        The window opens at the first *disruptive* event — crash,
+        partition, region outage, or a link_degrade that actually
+        degrades — and closes at the latest recovery/heal time (region
+        outages close at ``time + duration``). Schedules that never
+        repair close at their last event time. A schedule containing
+        only repairs (recover/heal/zero-zero link restores) never
+        degraded anything and has **no** window (``None``) — it is not
+        an instantaneous disruption at its first event's time.
         """
-        if not self.events:
-            return None
-        start = self.events[0].time
-        end = start
+        start: Optional[float] = None
+        end = 0.0
         for event in self.events:
+            if isinstance(event, (NodeRecover, Heal)):
+                end = max(end, event.time)
+                continue
+            if isinstance(event, LinkDegrade) and (
+                    event.extra_latency <= 0 and event.drop_rate <= 0):
+                end = max(end, event.time)  # a link restore is a repair
+                continue
+            if start is None:
+                start = event.time
             if isinstance(event, RegionOutage):
                 end = max(end, event.time + event.duration)
             else:
                 end = max(end, event.time)
-        return start, end
+        if start is None:
+            return None
+        return start, max(start, end)
+
+    def validate(self, nodes: Iterable[NodeKey],
+                 regions: Iterable[str] = ()) -> None:
+        """Fail fast if an event references an unknown node or region.
+
+        *nodes* is every key the deployment can answer for (replica or
+        endpoint indices, endpoint names, region tags); link endpoints
+        may additionally be regions. Raises
+        :class:`~repro.common.errors.SpecError` naming the offending
+        event instead of a ``KeyError`` mid-run.
+        """
+        known = set(nodes)
+        known_regions = set(regions)
+        link_keys = known | known_regions
+
+        def fail(what: str, value: Any, event: FaultEvent) -> None:
+            raise SpecError(
+                f"fault event references unknown {what} {value!r}:"
+                f" {event_summary(event)}")
+
+        for event in self.events:
+            if isinstance(event, (NodeCrash, NodeRecover)):
+                if event.node not in known:
+                    fail("node", event.node, event)
+            elif isinstance(event, Partition):
+                for group in event.groups:
+                    for node in group:
+                        if node not in known and node not in known_regions:
+                            fail("node", node, event)
+            elif isinstance(event, RegionOutage):
+                if event.region not in known_regions:
+                    fail("region", event.region, event)
+            elif isinstance(event, LinkDegrade):
+                if event.src not in link_keys:
+                    fail("link endpoint", event.src, event)
+                if event.dst not in link_keys:
+                    fail("link endpoint", event.dst, event)
 
 
 # -- the injector -------------------------------------------------------------

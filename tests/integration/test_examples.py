@@ -22,11 +22,13 @@ class TestExamples:
     def test_all_examples_exist(self):
         names = {p.stem for p in EXAMPLES.glob("*.py")}
         assert {"quickstart", "exchange_nasdaq", "mobility_uber",
-                "robustness_dos", "custom_blockchain"} <= names
+                "robustness_dos", "robustness_byzantine",
+                "custom_blockchain"} <= names
 
     def test_examples_import_cleanly(self):
         for name in ("quickstart", "exchange_nasdaq", "mobility_uber",
-                     "robustness_dos", "custom_blockchain"):
+                     "robustness_dos", "robustness_byzantine",
+                     "custom_blockchain"):
             module = load_example(name)
             assert hasattr(module, "main")
 
