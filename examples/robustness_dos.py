@@ -22,18 +22,31 @@ f+1 of the testnet's 10 validators a third of the way into the run and
 brings them back later. The commit ratio collapses while the commit
 quorum is gone and recovers within seconds of the heal — the
 availability dip the fault-injection subsystem makes measurable.
+
+Part 3 is the *economic* DoS scenario: instead of crashing validators,
+a budget-constrained adversary bids for blockspace against honest
+traffic through each chain's fee market. The table reports what one
+second of added median honest latency cost the attacker in fee units —
+the economic-resilience number the fee dialects differ on. EIP-1559
+chains make sustained attacks exponentially expensive (the base fee
+climbs under full blocks); flat-fee chains cannot price the attacker
+out at all, only shed load. Deterministic: every number reproduces
+byte-for-byte at a fixed scale and seed.
 """
 
 from __future__ import annotations
 
 from repro import run_benchmark, run_trace
-from repro.analysis.summary import degradation_report
+from repro.analysis.summary import degradation_report, economic_impact
+from repro.core.primary import Primary
 from repro.core.spec import (
     AccountSample,
     LoadSchedule,
     TransferSpec,
     simple_spec,
 )
+from repro.econ.fees import FeeSpec
+from repro.sim.dos import AdversarySpec
 from repro.sim.faults import events_from_dicts
 from repro.workloads import constant_transfer_trace
 
@@ -63,6 +76,59 @@ def crash_and_recover(chain: str = "quorum") -> None:
     print(degradation_report(result))
 
 
+#: attack rate high enough to contend for every chain's blockspace at
+#: scale 0.05, with a budget that runs out on the cheap chains
+DOS_CHAINS = ("ethereum", "quorum", "algorand", "solana")
+DOS_BUDGET = 200_000_000
+DOS_RATES = {"ethereum": 2_000.0, "quorum": 8_000.0,
+             "algorand": 20_000.0, "solana": 2_000.0}
+
+
+def economic_dos() -> None:
+    """Cost-to-delay table: fee units per second of added honest latency."""
+    print(f"\n-- economic DoS: budget {DOS_BUDGET:,} fee units,"
+          f" bidding x3 over the honest suggestion --")
+    print(f"{'chain':10s} {'dialect':8s} {'p50 benign':>10s}"
+          f" {'p50 attack':>10s} {'commit':>7s} {'spend':>12s}"
+          f" {'cost/delay-s':>12s}  notes")
+    for chain in DOS_CHAINS:
+        adversary = AdversarySpec(budget=DOS_BUDGET,
+                                  rate=DOS_RATES[chain],
+                                  bid_multiplier=3.0)
+
+        def run(attack: bool):
+            spec = simple_spec(
+                TransferSpec(AccountSample(200)),
+                LoadSchedule.constant(200, 60),
+                fees=FeeSpec(),
+                adversary=adversary if attack else None)
+            primary = Primary(chain, "testnet", scale=0.05, seed=3)
+            return primary.run(spec, workload_name="economic-dos")
+
+        baseline = run(attack=False)
+        attacked = run(attack=True)
+        info = economic_impact(baseline, attacked)
+        cost = info["cost_per_delay_s"]
+        notes = ""
+        if info["exhausted_at_s"] is not None:
+            notes = (f"budget gone at t={info['exhausted_at_s']:.0f}s"
+                     " — priced out")
+        elif info["dialect"] == "flat":
+            notes = "no price lever: pure flood"
+        elif cost is None:
+            dropped = (info["baseline_commit_ratio"]
+                       - info["attacked_commit_ratio"])
+            notes = f"no delay; displaces {dropped:.0%} of honest txs"
+        print(f"{chain:10s} {info['dialect']:8s}"
+              f" {info['baseline_p50_s']:9.1f}s"
+              f" {info['attacked_p50_s']:9.1f}s"
+              f" {info['attacked_commit_ratio']:6.1%}"
+              f" {info['attacker_spend']:>12,}"
+              + (f" {cost:>12,.0f}" if cost is not None else
+                 f" {'n/a':>12s}")
+              + f"  {notes}")
+
+
 def main() -> None:
     print(f"{'chain':12s} {'config':12s} {'1k TPS':>10s} {'10k TPS':>10s}"
           f" {'ratio':>8s}  {'lat 1k':>8s} {'lat 10k':>8s}  notes")
@@ -87,6 +153,7 @@ def main() -> None:
               f"  {low.average_latency:8.1f} {high.average_latency:8.1f}"
               f"  {notes}")
     crash_and_recover()
+    economic_dos()
 
 
 if __name__ == "__main__":

@@ -4,6 +4,8 @@ from repro.analysis.summary import (
     CSV_COLUMNS,
     cdf_points,
     comparison_table,
+    dos_report,
+    economic_impact,
     format_table,
     results_to_csv,
     throughput_timeseries,
@@ -14,6 +16,8 @@ __all__ = [
     "CSV_COLUMNS",
     "cdf_points",
     "comparison_table",
+    "dos_report",
+    "economic_impact",
     "format_table",
     "results_to_csv",
     "throughput_timeseries",

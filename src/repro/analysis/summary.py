@@ -208,6 +208,96 @@ def overload_report(result: BenchmarkResult) -> str:
     return "\n".join(lines)
 
 
+def _p50(result: BenchmarkResult) -> Optional[float]:
+    """Median commit latency over the whole horizon (drain included).
+
+    Under attack honest commits often land past the nominal duration
+    window, so the windowed ``median_latency`` can be NaN while plenty
+    of transactions did commit — the full-horizon median is the honest
+    number to compare.
+    """
+    latencies = result.latencies()
+    if latencies.size == 0:
+        return None
+    return float(np.median(latencies))
+
+
+def economic_impact(baseline: BenchmarkResult,
+                    attacked: BenchmarkResult) -> Dict[str, object]:
+    """Cost-to-delay accounting for one chain: benign run vs attacked run.
+
+    The headline number is ``cost_per_delay_s`` — fee units the attacker
+    spent per second of added median honest latency. A high number means
+    the fee market priced the attack out (economic resilience); a low
+    number means blockspace was cheap to deny.
+    """
+    adversary = attacked.economics.get("adversary", {})
+    base_p50 = _p50(baseline)
+    attacked_p50 = _p50(attacked)
+    delay = (attacked_p50 - base_p50
+             if base_p50 is not None and attacked_p50 is not None else None)
+    spend = adversary.get("spend", 0)
+    # below ~10ms of added latency "cost per delay-second" is noise (an
+    # attack can hurt through commit ratio while barely moving the median)
+    cost_per_s = (round(spend / delay, 1)
+                  if delay is not None and delay > 1e-2 else None)
+    return {
+        "chain": attacked.chain,
+        "dialect": attacked.economics.get("dialect", "?"),
+        "baseline_p50_s": (None if base_p50 is None else round(base_p50, 3)),
+        "attacked_p50_s": (None if attacked_p50 is None
+                           else round(attacked_p50, 3)),
+        "delay_added_s": (None if delay is None else round(delay, 3)),
+        "attacker_spend": spend,
+        "cost_per_delay_s": cost_per_s,
+        "baseline_commit_ratio": round(baseline.commit_ratio, 3),
+        "attacked_commit_ratio": round(attacked.commit_ratio, 3),
+        "attacker_committed": adversary.get("committed", 0),
+        "attacker_dropped": adversary.get("dropped", 0),
+        "exhausted_at_s": adversary.get("exhausted_at"),
+    }
+
+
+def dos_report(baseline: BenchmarkResult,
+               attacked: BenchmarkResult) -> str:
+    """Economic-DoS report for one chain (text, for bench stdout)."""
+    info = economic_impact(baseline, attacked)
+    adversary = attacked.economics.get("adversary", {})
+    if not adversary:
+        return "(no adversary ran)"
+
+    def seconds(value: object) -> str:
+        return f"{value:.2f}s" if isinstance(value, float) else "n/a"
+
+    budget = adversary.get("budget", 0)
+    spend = info["attacker_spend"]
+    lines = [
+        f"fee dialect           {info['dialect']}",
+        f"attacker budget       {budget:,} fee units",
+        f"attacker spend        {spend:,} fee units"
+        + (f" ({spend / budget:.0%} of budget)" if budget else ""),
+        f"honest p50 latency    {seconds(info['baseline_p50_s'])}"
+        f" -> {seconds(info['attacked_p50_s'])}"
+        f" (+{seconds(info['delay_added_s'])})",
+        f"honest commit ratio   {info['baseline_commit_ratio']:.2%}"
+        f" -> {info['attacked_commit_ratio']:.2%}",
+    ]
+    cost = info["cost_per_delay_s"]
+    lines.append("cost to delay 1s      "
+                 + (f"{cost:,.0f} fee units" if cost is not None
+                    else "attack added no delay"))
+    exhausted = info["exhausted_at_s"]
+    if exhausted is not None:
+        lines.append(f"budget exhausted      t={exhausted:.1f}s"
+                     " (attack fizzled early)")
+    lines.append(
+        f"attack transactions   {adversary.get('submitted', 0)} submitted,"
+        f" {adversary.get('committed', 0)} committed,"
+        f" {adversary.get('dropped', 0)} dropped,"
+        f" {adversary.get('skipped_budget', 0)} skipped (budget)")
+    return "\n".join(lines)
+
+
 def throughput_timeseries(result: BenchmarkResult,
                           bin_size: float = 1.0) -> List[Dict[str, float]]:
     """Per-second load vs throughput rows (the paper's time series)."""

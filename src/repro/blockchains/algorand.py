@@ -23,6 +23,7 @@ from repro.chain.mempool import MempoolPolicy
 from repro.consensus.models import CommitteePerf, WanProfile
 from repro.crypto.signing import ED25519
 from repro.blockchains.base import ChainParams, OverloadPolicy
+from repro.econ.fees import FeePolicy
 from repro.sim.deployment import DeploymentConfig
 
 BLOCK_GAS_LIMIT = 75_600_000  # = 3,600 transfers per block
@@ -54,6 +55,9 @@ def params(deployment: DeploymentConfig) -> ChainParams:
         # Algorand keeps committing at capacity through a 10x overload by
         # rejecting the excess at the node (§6.3 — throughput holds while
         # most submissions are turned away)
+        # flat 1000-microAlgo minimum fee, no prioritization:
+        # paying more buys nothing, so attackers can only flood
+        fee_policy=FeePolicy(dialect="flat", min_fee=1),
         overload=OverloadPolicy(
             response="shed_load",
             consensus_tx_bytes=16 * 1024),

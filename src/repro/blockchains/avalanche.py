@@ -21,6 +21,7 @@ from repro.chain.mempool import MempoolPolicy
 from repro.consensus.models import DAGPerf, WanProfile
 from repro.crypto.signing import ECDSA
 from repro.blockchains.base import ChainParams, OverloadPolicy
+from repro.econ.fees import FeePolicy
 from repro.sim.deployment import DeploymentConfig
 
 BLOCK_GAS_LIMIT = 8_000_000   # §5.2
@@ -49,6 +50,9 @@ def params(deployment: DeploymentConfig) -> ChainParams:
         exec_parallelism=1.0,
         # the throttled block cadence bounds intake; excess load is shed at
         # the node and throughput even improves as blocks pack tighter (§6.3)
+        # the C-chain of the paper's era ran a fixed 25-nAVAX
+        # gas price (dynamic fees came later)
+        fee_policy=FeePolicy(dialect="flat", min_fee=25),
         overload=OverloadPolicy(
             response="shed_load",
             consensus_tx_bytes=8 * 1024),

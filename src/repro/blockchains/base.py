@@ -30,6 +30,7 @@ full scale.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -57,6 +58,8 @@ from repro.consensus.models import (
     WanProfile,
 )
 from repro.crypto.signing import ECDSA, SignatureScheme
+from repro.econ.fees import FeePolicy, FeeSpec, build_fee_model
+from repro.econ.market import FeeMarket
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NullTracer
 from repro.sim.deployment import DeploymentConfig
@@ -121,6 +124,13 @@ class RetryPolicy:
     ``max_delay``           backoff ceiling, seconds
     ``jitter``              +/- fraction of the delay randomised away
     ``resubmit_on_expiry``  re-sign and resubmit pool-expired transactions
+    ``fee_bump``            price multiplier applied per resubmission (1.0
+                            resends the identical payload — the default).
+                            Without a bump, retries re-enter a congested
+                            fee-ordered pool at the tail and starve; geth
+                            requires a >= 10% bump to even replace a tx.
+    ``fee_bump_cap``        ceiling on the cumulative bump, as a multiple
+                            of the transaction's original price
     """
 
     max_attempts: int = 3
@@ -129,11 +139,19 @@ class RetryPolicy:
     max_delay: float = 30.0
     jitter: float = 0.1
     resubmit_on_expiry: bool = True
+    fee_bump: float = 1.0
+    fee_bump_cap: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ConfigurationError(
                 f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.fee_bump < 1.0:
+            raise ConfigurationError(
+                f"fee_bump must be >= 1.0, got {self.fee_bump}")
+        if self.fee_bump_cap < 1.0:
+            raise ConfigurationError(
+                f"fee_bump_cap must be >= 1.0, got {self.fee_bump_cap}")
         if self.base_delay < 0 or self.max_delay < self.base_delay:
             raise ConfigurationError(
                 f"need 0 <= base_delay <= max_delay, got"
@@ -234,6 +252,7 @@ class ChainParams:
     exec_parallelism: float = 1.0        # execution threads (geth: ~1)
     gossip_hop: float = 0.08             # client tx -> proposer gossip delay
     retry_policy: Optional[RetryPolicy] = None  # client retries (off = 1 shot)
+    fee_policy: Optional[FeePolicy] = None  # fee dialect (inert until fees: on)
     admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
     overload: OverloadPolicy = field(default_factory=OverloadPolicy)
     perf_model: Callable[[WanProfile], ConsensusPerfModel] = None  # type: ignore[assignment]
@@ -359,6 +378,7 @@ class BlockchainNetwork:
                             supplier=lambda: self.memory_pressure)
         self._committed_height = 0
         self._commit_listeners: List[Callable[[Transaction], None]] = []
+        self._drop_listeners: List[Callable[[Transaction], None]] = []
         # fault injection + client retries
         self.injector: Optional[FaultInjector] = None
         #: byzantine adversary schedule (repro.sim.byzantine); None = benign
@@ -368,6 +388,20 @@ class BlockchainNetwork:
             "byzantine_stalled_blocks")
         # production rounds skipped: no live quorum
         self._stalled_rounds = chain_metrics.counter("stalled_rounds")
+        # retry-policy override installed by :meth:`attach_fees`
+        # (fee-bumping); None defers to the chain params live, so code
+        # adjusting ``self.params`` after construction still takes effect
+        self._retry_policy_override: Optional[RetryPolicy] = None
+        #: live fee market; None (the default) keeps every fee code path
+        #: inert — attach one with :meth:`attach_fees`
+        self.fee_market: Optional[FeeMarket] = None
+        # original (fee_per_gas, tip) per retried tx, anchoring the
+        # fee-bump cap across resubmissions
+        self._fee_anchors: Dict[int, Tuple[int, int]] = {}
+        #: senders whose retries keep their original price (the DoS
+        #: adversary bids for itself; bumping would break its budget
+        #: reservations)
+        self.fee_bump_exempt: frozenset = frozenset()
         self._retry_rng = self.rng.stream("client", "retry-jitter")
         self._attempts: Dict[int, int] = {}
         self._retries_scheduled = chain_metrics.counter("retries_scheduled")
@@ -443,6 +477,61 @@ class BlockchainNetwork:
                 self.tracer.adversary_window(
                     index, byzantine_event_kind(event),
                     event.start, event.stop, event.node)
+
+    # -- fee market ---------------------------------------------------------------
+
+    @property
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        """Effective client retry policy.
+
+        The chain's own (read live off ``params``) unless
+        :meth:`attach_fees` upgraded it with fee-bumping.
+        """
+        if self._retry_policy_override is not None:
+            return self._retry_policy_override
+        return self.params.retry_policy
+
+    def _fee_gas_target(self, policy: FeePolicy) -> int:
+        """Per-block gas target (scaled units) for the base-fee controller."""
+        if self._gas_cap is not None:
+            cap = self._gas_cap
+        elif self._tx_cap is not None:
+            cap = self._tx_cap * 21_000
+        else:
+            cap = self.scale.capacity(self.reference_block_txs() * 21_000)
+        return max(1, cap // policy.elasticity)
+
+    def attach_fees(self, spec: FeeSpec) -> None:
+        """Activate this chain's fee market per the workload's ``fees:`` spec.
+
+        Builds the chain's declared :class:`FeePolicy` (EIP-1559 default)
+        with the spec's overrides, makes mempool admission price-aware,
+        and upgrades the client retry policy to fee-bump resubmissions.
+        Never called for workloads without a ``fees:`` section, so benign
+        runs stay byte-identical.
+        """
+        policy = spec.applied_to(self.params.fee_policy)
+        model = build_fee_model(policy, self._fee_gas_target(policy))
+        self.fee_market = FeeMarket(model, self.metrics.namespace("fees"))
+        self.mempool.pricer = model
+        self.mempool.on_evict = self._on_fee_evicted
+        retry = self.retry_policy if self.retry_policy is not None else RetryPolicy()
+        updates: Dict[str, Any] = {
+            "fee_bump": spec.fee_bump, "fee_bump_cap": spec.fee_bump_cap}
+        if spec.retry_attempts is not None:
+            updates["max_attempts"] = spec.retry_attempts
+        self._retry_policy_override = replace(retry, **updates)
+
+    def _on_fee_evicted(self, tx: Transaction) -> None:
+        """An underpriced resident was priced out of the pool under pressure.
+
+        Routed through the client retry path: the owner re-bids with a
+        fee bump after backoff, exactly like any other rejection; with
+        retries exhausted the eviction becomes a client-visible drop.
+        """
+        attempt = max(1, self._attempts.get(tx.uid, 1))
+        if not self._schedule_retry(tx, attempt):
+            self._record_drop(tx, "fee_evicted")
 
     def _node_available(self, index: int) -> bool:
         if self.injector is None:
@@ -577,12 +666,14 @@ class BlockchainNetwork:
         self._chain_metrics.counter(f"drops.{reason}").inc()
         if self.tracer is not None:
             self.tracer.tx_dropped(tx, self.engine.now, reason)
+        for listener in self._drop_listeners:
+            listener(tx)
 
     # -- client retries -----------------------------------------------------------
 
     def _schedule_retry(self, tx: Transaction, attempt: int) -> bool:
         """Back off and resubmit *tx* if the retry policy allows another try."""
-        policy = self.params.retry_policy
+        policy = self.retry_policy
         if policy is None or attempt >= policy.max_attempts:
             return False
         delay = policy.backoff(attempt, self._retry_rng)
@@ -594,11 +685,37 @@ class BlockchainNetwork:
     def _retry(self, tx: Transaction) -> None:
         if tx.aborted or tx.committed_at is not None or tx in self.mempool:
             return
+        if self.fee_market is not None:
+            self._bump_fee(tx)
         if self.params.tx_expiry is not None:
             # a resubmitting client re-reads the chain head first, exactly
             # the Solana recent-blockhash refresh loop (§5.2)
             tx.recent_block_hash = self.ledger.head.block_hash
         self.submit(tx)
+
+    def _bump_fee(self, tx: Transaction) -> None:
+        """Raise *tx*'s bid before resubmission, within the cumulative cap.
+
+        The cap anchors to the transaction's *original* price, so repeated
+        retries converge to ``original * fee_bump_cap`` instead of growing
+        without bound.
+        """
+        policy = self.retry_policy
+        if policy is None or policy.fee_bump <= 1.0:
+            return
+        if tx.sender in self.fee_bump_exempt:
+            return
+        anchor = self._fee_anchors.setdefault(tx.uid, (tx.fee_per_gas, tx.tip))
+        cap_fee = max(anchor[0],
+                      int(math.ceil(anchor[0] * policy.fee_bump_cap)))
+        cap_tip = max(anchor[1],
+                      int(math.ceil(max(anchor[1], 1) * policy.fee_bump_cap)))
+        tx.fee_per_gas = min(cap_fee, max(
+            tx.fee_per_gas + 1,
+            int(math.ceil(tx.fee_per_gas * policy.fee_bump))))
+        tx.tip = min(cap_tip, max(
+            tx.tip + 1,
+            int(math.ceil(max(tx.tip, 1) * policy.fee_bump))))
 
     def attempts_for(self, tx: Transaction) -> int:
         """Submission attempts recorded for *tx* (1 = no retries)."""
@@ -614,6 +731,10 @@ class BlockchainNetwork:
 
     def on_commit(self, listener: Callable[[Transaction], None]) -> None:
         self._commit_listeners.append(listener)
+
+    def on_drop(self, listener: Callable[[Transaction], None]) -> None:
+        """Observe every client-visible drop (see :meth:`_record_drop`)."""
+        self._drop_listeners.append(listener)
 
     # -- block production --------------------------------------------------------------------
 
@@ -887,6 +1008,13 @@ class BlockchainNetwork:
             timestamp=now,
             gas_used=sum(r.gas_used for r in receipts))
         self.ledger.append(block, decided_at=now)
+        if self.fee_market is not None:
+            # sealed transactions pay their effective price whether or not
+            # execution succeeded (failed executions still burn gas), and
+            # the block's usage moves the base fee for the next block
+            for tx, receipt in zip(batch, receipts):
+                self.fee_market.charge(tx, receipt.gas_used)
+            self.fee_market.on_block(block.gas_used)
         if self.tracer is not None and bid >= 0:
             self.tracer.block_appended(bid, now)
         self._finalize_ready()
@@ -935,7 +1063,7 @@ class BlockchainNetwork:
     def _expire_pool(self, now: float) -> None:
         if self.params.tx_expiry is None:
             return
-        policy = self.params.retry_policy
+        policy = self.retry_policy
         for tx in self.mempool.drop_expired(now, self.params.tx_expiry):
             if (policy is not None and policy.resubmit_on_expiry
                     and self._schedule_retry(tx, self._attempts.get(tx.uid, 1))):
@@ -967,9 +1095,12 @@ class BlockchainNetwork:
         if self.overload.response != "none":
             stats["memory_pressure_peak"] = round(self.peak_memory_pressure, 4)
             stats["overload_events"] = len(self.overload_events)
-        if self.params.retry_policy is not None:
+        if self.retry_policy is not None:
             stats["retries_scheduled"] = self.retries_scheduled
             stats["retries_succeeded"] = self.retries_succeeded
+        if self.fee_market is not None:
+            for key, value in self.fee_market.stats().items():
+                stats[f"fees_{key}"] = value
         if self.injector is not None:
             stats["stalled_rounds"] = self.stalled_rounds
             stats["fault_events_applied"] = len(self.injector.events_applied)

@@ -22,6 +22,7 @@ from repro.chain.mempool import MempoolPolicy
 from repro.consensus.models import LeaderBFTPerf, WanProfile
 from repro.crypto.signing import ED25519
 from repro.blockchains.base import ChainParams, OverloadPolicy
+from repro.econ.fees import FeePolicy
 from repro.sim.deployment import DeploymentConfig
 
 BLOCK_TX_LIMIT = 700
@@ -76,6 +77,9 @@ def params(deployment: DeploymentConfig) -> ChainParams:
         # pool keeps the node alive, but pool-management churn (every
         # rejected submission still pays the admission path) accumulates in
         # consensus buffers until progress halts
+        # Diem charges gas with a dynamic congestion price
+        # (modeled with the same controller as London)
+        fee_policy=FeePolicy(dialect="eip1559"),
         overload=OverloadPolicy(
             response="commit_stall",
             consensus_tx_bytes=16 * 1024),

@@ -19,6 +19,7 @@ from repro.chain.mempool import MempoolPolicy
 from repro.consensus.models import CliquePerf, WanProfile
 from repro.crypto.signing import ECDSA
 from repro.blockchains.base import ChainParams, OverloadPolicy
+from repro.econ.fees import FeePolicy
 from repro.sim.deployment import DeploymentConfig
 
 BLOCK_PERIOD = 5.0
@@ -49,6 +50,9 @@ def params(deployment: DeploymentConfig) -> ChainParams:
         # geth survives sustained overload by turning submissions away
         # cheaply at the txpool door and keeps "committing transactions
         # until the end of the experiment" (§6.5) — a trickle, but alive
+        # the London fee market: dynamic base fee over a
+        # 3M-gas block, priority tips break ties
+        fee_policy=FeePolicy(dialect="eip1559"),
         overload=OverloadPolicy(
             response="shed_load",
             consensus_tx_bytes=16 * 1024),

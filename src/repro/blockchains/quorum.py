@@ -20,6 +20,7 @@ from repro.chain.mempool import MempoolPolicy
 from repro.consensus.models import LeaderBFTPerf, WanProfile
 from repro.crypto.signing import ECDSA
 from repro.blockchains.base import ChainParams, OverloadPolicy
+from repro.econ.fees import FeePolicy
 from repro.sim.deployment import DeploymentConfig
 
 # Quorum genesis files for benchmarking use very large block gas limits;
@@ -61,6 +62,9 @@ def params(deployment: DeploymentConfig) -> ChainParams:
         # never dropping a request means the unbounded pool itself exhausts
         # memory under constant overload; rounds starve and IBFT stops
         # committing (the Fig. 4 collapse to zero)
+        # GoQuorum inherits geth's fee market; permissioned
+        # deployments typically run it near the floor
+        fee_policy=FeePolicy(dialect="eip1559", min_fee=1),
         overload=OverloadPolicy(
             response="commit_stall",
             pool_tx_bytes=16 * 1024,

@@ -23,6 +23,7 @@ from repro.chain.mempool import MempoolPolicy
 from repro.consensus.models import PoHPerf, WanProfile
 from repro.crypto.signing import ED25519
 from repro.blockchains.base import ChainParams, OverloadPolicy
+from repro.econ.fees import FeePolicy
 from repro.sim.deployment import DeploymentConfig
 
 SLOT_DURATION = 0.4
@@ -54,6 +55,9 @@ def params(deployment: DeploymentConfig) -> ChainParams:
         # Solana validators OOM-crash under sustained saturation (§6: the
         # NASDAQ peak); the heavy per-transaction artifacts (gossip dedup,
         # fork/vote bookkeeping, accounts-db growth) dominate
+        # flat signature fee plus a first-price priority-fee
+        # auction for leader-schedule blockspace
+        fee_policy=FeePolicy(dialect="auction", min_fee=5, default_tip=0),
         overload=OverloadPolicy(
             response="oom_crash",
             pool_tx_bytes=8 * 1024,

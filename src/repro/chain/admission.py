@@ -32,6 +32,7 @@ from repro.common.errors import (
     MempoolFullError,
     NodeOverloadedError,
     SenderQuotaError,
+    UnderpricedError,
 )
 from repro.obs.metrics import MetricsNamespace, MetricsRegistry
 
@@ -123,7 +124,10 @@ class AdmissionController:
                     "node is shedding load under memory pressure")
         try:
             self.mempool.add(tx)
-        except SenderQuotaError:
+        except (SenderQuotaError, UnderpricedError):
+            # neither clears by waiting in the queue: a quota rejection
+            # needs the sender's backlog to drain, an underpriced one
+            # needs the client to come back with a higher bid
             raise
         except MempoolFullError:
             if len(self._queue) >= self.policy.queue_capacity:
@@ -140,7 +144,13 @@ class AdmissionController:
             tx = self._queue[0]
             if self.mempool.would_accept(tx) is not None:
                 break
-            self.mempool.add(tx)
+            try:
+                self.mempool.add(tx)
+            except MempoolFullError:
+                # the probe is approximate under price-aware admission
+                # (byte-budget evictions depend on victim sizes); a pool
+                # that still will not take the head stops the drain
+                break
             self._queue.popleft()
             moved += 1
             if self.on_admit is not None:

@@ -22,12 +22,13 @@ from __future__ import annotations
 
 from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import (
     MempoolBytesError,
     MempoolFullError,
     SenderQuotaError,
+    UnderpricedError,
 )
 from repro.chain.transaction import Transaction
 from repro.obs.metrics import MetricsNamespace, MetricsRegistry
@@ -38,6 +39,8 @@ DROP_QUOTA = "sender_quota"
 DROP_BYTES = "bytes"
 DROP_EVICTED = "evicted"
 DROP_EXPIRED = "expired"
+DROP_UNDERPRICED = "underpriced"
+DROP_FEE_EVICTED = "fee_evicted"
 
 
 @dataclass(frozen=True)
@@ -75,6 +78,14 @@ class Mempool:
         self._resident_bytes = self._metrics.gauge("resident_bytes")
         self._metrics.gauge("resident", supplier=self._pool.__len__)
         self.last_drop_reason: Optional[str] = None
+        # a fee market (duck-typed: floor() and effective_price(tx)) makes
+        # admission price-aware: underpriced transactions are rejected and
+        # pressure evicts the cheapest resident instead of the oldest.
+        # None — the benign default — leaves every code path untouched.
+        self.pricer = None
+        #: called with each fee-evicted victim (the network uses it to
+        #: route the victim through the client retry/fee-bump path)
+        self.on_evict: Optional[Callable[[Transaction], None]] = None
 
     # -- registry views ----------------------------------------------------------
 
@@ -129,22 +140,38 @@ class Mempool:
         A pure probe: no counters move and nothing is evicted, so admission
         front ends can test for room without generating phantom drops.
         """
+        if (self.pricer is not None
+                and self.pricer.effective_price(tx) < self.pricer.floor()):
+            return DROP_UNDERPRICED
         quota = self.policy.per_sender_quota
         if quota is not None and self._per_sender[tx.sender] >= quota:
             return DROP_QUOTA
         cap = self.policy.capacity
-        if (cap is not None and len(self._pool) >= cap
-                and not self.policy.evict_oldest):
-            return DROP_CAPACITY
+        if cap is not None and len(self._pool) >= cap:
+            if self.pricer is not None:
+                victim = self._cheapest()
+                if (victim is None
+                        or self.pricer.effective_price(victim)
+                        >= self.pricer.effective_price(tx)):
+                    return DROP_UNDERPRICED
+            elif not self.policy.evict_oldest:
+                return DROP_CAPACITY
         max_bytes = self.policy.max_bytes
         if (max_bytes is not None
                 and self.resident_bytes + tx.size > max_bytes
-                and not self.policy.evict_oldest):
+                and not self.policy.evict_oldest
+                and self.pricer is None):
             return DROP_BYTES
         return None
 
     def add(self, tx: Transaction) -> None:
         """Admit a transaction or raise a :class:`MempoolFullError` subclass."""
+        if (self.pricer is not None
+                and self.pricer.effective_price(tx) < self.pricer.floor()):
+            self._count_drop(DROP_UNDERPRICED)
+            raise UnderpricedError(
+                f"price {self.pricer.effective_price(tx)} below fee floor"
+                f" {self.pricer.floor()}")
         quota = self.policy.per_sender_quota
         if quota is not None and self._per_sender[tx.sender] >= quota:
             self._count_drop(DROP_QUOTA)
@@ -152,7 +179,19 @@ class Mempool:
                 f"sender {tx.sender} has {quota} pending transactions")
         cap = self.policy.capacity
         if cap is not None and len(self._pool) >= cap:
-            if self.policy.evict_oldest:
+            if self.pricer is not None:
+                # price-based replacement: the incoming transaction must
+                # strictly outbid the cheapest resident to displace it
+                victim = self._cheapest()
+                incoming = self.pricer.effective_price(tx)
+                if (victim is None
+                        or self.pricer.effective_price(victim) >= incoming):
+                    self._count_drop(DROP_UNDERPRICED)
+                    raise UnderpricedError(
+                        f"price {incoming} cannot displace any of the"
+                        f" {len(self._pool)} resident transactions")
+                self._evict_victim(victim, DROP_FEE_EVICTED)
+            elif self.policy.evict_oldest:
                 self._evict_one()
             else:
                 self._count_drop(DROP_CAPACITY)
@@ -160,7 +199,15 @@ class Mempool:
                     f"mempool at capacity ({cap} transactions)")
         max_bytes = self.policy.max_bytes
         if max_bytes is not None and self.resident_bytes + tx.size > max_bytes:
-            if self.policy.evict_oldest:
+            if self.pricer is not None:
+                incoming = self.pricer.effective_price(tx)
+                while self.resident_bytes + tx.size > max_bytes:
+                    victim = self._cheapest()
+                    if (victim is None
+                            or self.pricer.effective_price(victim) >= incoming):
+                        break
+                    self._evict_victim(victim, DROP_FEE_EVICTED)
+            elif self.policy.evict_oldest:
                 while (self._pool
                        and self.resident_bytes + tx.size > max_bytes):
                     self._evict_one()
@@ -191,6 +238,37 @@ class Mempool:
         self._resident_bytes.add(-victim.size)
         self._count_drop(DROP_EVICTED)
 
+    def _cheapest(self) -> Optional[Transaction]:
+        """The resident transaction with the lowest effective price."""
+        if not self._pool:
+            return None
+        return min(self._pool.values(),
+                   key=lambda t: (self.pricer.effective_price(t), t.uid))
+
+    def _evict_victim(self, victim: Transaction, reason: str) -> None:
+        del self._pool[victim.uid]
+        self._per_sender[victim.sender] -= 1
+        self._resident_bytes.add(-victim.size)
+        self._count_drop(reason)
+        if self.on_evict is not None and reason == DROP_FEE_EVICTED:
+            self.on_evict(victim)
+
+    def price_floor(self) -> int:
+        """The effective per-gas price admission currently requires.
+
+        The fee model's floor, raised to the cheapest resident's price
+        while the pool is at capacity (an incoming transaction must
+        strictly outbid it to get in). Zero without a pricer.
+        """
+        if self.pricer is None:
+            return 0
+        floor = self.pricer.floor()
+        cap = self.policy.capacity
+        if cap is not None and len(self._pool) >= cap and self._pool:
+            cheapest = self._cheapest()
+            floor = max(floor, self.pricer.effective_price(cheapest))
+        return floor
+
     # -- removal ---------------------------------------------------------------
 
     def pop_batch(self, max_count: Optional[int] = None,
@@ -203,7 +281,11 @@ class Mempool:
         gas limit as its reservation, as block builders do) and a cumulative
         byte size.
         """
-        if self.policy.fee_ordered:
+        if self.pricer is not None:
+            candidates = sorted(
+                self._pool.values(),
+                key=lambda t: (-self.pricer.effective_price(t), t.uid))
+        elif self.policy.fee_ordered:
             candidates = sorted(
                 self._pool.values(),
                 key=lambda t: (-(t.fee_per_gas + t.tip), t.uid))

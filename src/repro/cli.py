@@ -40,6 +40,7 @@ from typing import List, Optional
 
 from repro.analysis.summary import (
     degradation_report,
+    dos_report,
     overload_report,
     transactions_to_csv,
 )
@@ -292,6 +293,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     overload_parser.add_argument("--drain", type=float, default=120.0,
                                  help="post-load drain budget (seconds)")
 
+    dos_parser = commands.add_parser(
+        "dos", help="economic DoS demo: a budget-constrained adversary"
+        " bids for blockspace against honest traffic; reports what"
+        " delaying honest transactions cost in fee units")
+    dos_parser.add_argument("dos_chain", metavar="chain",
+                            choices=CHAIN_NAMES)
+    dos_parser.add_argument("--configuration", default="testnet",
+                            choices=sorted(CONFIGURATIONS))
+    dos_parser.add_argument("--scale", type=float, default=None,
+                            help="experiment scale factor"
+                            " (default: REPRO_SCALE)")
+    dos_parser.add_argument("--seed", type=int, default=0)
+    dos_parser.add_argument("--accounts", type=int, default=2_000)
+    dos_parser.add_argument("--rate", type=float, default=200.0,
+                            help="honest offered load in TPS")
+    dos_parser.add_argument("--runtime", type=float, default=60.0,
+                            help="workload duration (seconds)")
+    dos_parser.add_argument("--budget", type=int, default=50_000_000,
+                            help="attacker fee budget (fee units)")
+    dos_parser.add_argument("--attack-rate", type=float, default=2_000.0,
+                            help="attack transactions per second")
+    dos_parser.add_argument("--bid-multiplier", type=float, default=3.0,
+                            help="attack bid over the honest fee"
+                            " suggestion")
+    dos_parser.add_argument("--fee-bump", type=float, default=1.25,
+                            help="honest clients multiply their price by"
+                            " this on each retry")
+    dos_parser.add_argument("--output", type=Path, default=None,
+                            help="write the attacked run's results JSON"
+                            " here")
+
     byz_parser = commands.add_parser(
         "byzantine", help="Byzantine adversary demo: runs the chain's"
         " message-level consensus protocol with adversarial replicas"
@@ -408,6 +440,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                                watchdog_window=args.watchdog_window)
         _emit(result, args.output, args.stat, args.compress)
         print(degradation_report(result))
+    elif args.command == "dos":
+        from repro.econ.fees import FeeSpec
+        from repro.sim.dos import AdversarySpec
+
+        fees = FeeSpec(fee_bump=args.fee_bump)
+        adversary = AdversarySpec(budget=args.budget,
+                                  rate=args.attack_rate,
+                                  bid_multiplier=args.bid_multiplier)
+
+        def dos_run(with_adversary: bool) -> BenchmarkResult:
+            spec = simple_spec(
+                TransferSpec(AccountSample(args.accounts)),
+                LoadSchedule.constant(args.rate, args.runtime),
+                fees=fees,
+                adversary=adversary if with_adversary else None)
+            primary = Primary(args.dos_chain, args.configuration,
+                              scale=args.scale, seed=args.seed)
+            return primary.run(spec, workload_name="dos")
+
+        print(f"baseline: {args.dos_chain} at {args.rate:g} TPS honest"
+              f" load, fee market on, no attack", file=sys.stderr)
+        baseline = dos_run(with_adversary=False)
+        print(f"attack:   +{args.attack_rate:g} TPS adversary, budget"
+              f" {args.budget:,}, bidding x{args.bid_multiplier:g}",
+              file=sys.stderr)
+        attacked = dos_run(with_adversary=True)
+        if args.output is not None:
+            args.output.write_text(attacked.to_json())
+            print(f"wrote {args.output}", file=sys.stderr)
+        print(dos_report(baseline, attacked))
     elif args.command == "byzantine":
         return _run_byzantine_command(args)
     elif args.command == "trace":

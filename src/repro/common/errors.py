@@ -87,8 +87,13 @@ class StaleBlockHashError(ChainError):
     """The referenced recent block hash is too old (Solana's 120 s rule)."""
 
 
-class UnderpricedError(ChainError):
-    """The transaction fee is below the current dynamic base fee (London)."""
+class UnderpricedError(MempoolFullError):
+    """The transaction's price is below the mempool's current fee floor.
+
+    A :class:`MempoolFullError` subclass on purpose: an underpriced
+    rejection is retryable — the client's fee-bumping retry path treats
+    it exactly like a full pool, resubmitting at a higher price.
+    """
 
 
 class VMError(ChainError):

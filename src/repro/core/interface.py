@@ -164,6 +164,12 @@ class SimConnector(BlockchainConnector):
                 contract_name, interaction.function, tx)
         else:
             raise SpecError(f"unknown interaction {interaction!r}")
+        market = self.network.fee_market
+        if market is not None:
+            # honest wallets price at the current suggestion (base fee
+            # times headroom plus default tip); the signature below covers
+            # the price fields, like a real signed envelope
+            tx.fee_per_gas, tx.tip = market.suggest()
         scheme = self.network.params.signature_scheme
         tx.signature = scheme.sign(account.private_key, tx.signing_payload())
         if self.network.params.tx_expiry is not None:

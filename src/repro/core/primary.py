@@ -24,6 +24,7 @@ from repro.core.results import BenchmarkResult, TransactionRecord
 from repro.core.secondary import Secondary
 from repro.core.spec import WorkloadSpec
 from repro.core.watchdog import DEFAULT_WINDOW, LivenessWatchdog
+from repro.econ.fees import FeeSpec
 from repro.obs import (
     EngineProfiler,
     LifecycleTracer,
@@ -31,6 +32,7 @@ from repro.obs import (
     ObservabilityOptions,
 )
 from repro.sim.deployment import DeploymentConfig, get_configuration
+from repro.sim.dos import DoSAdversary
 from repro.sim.engine import Engine
 from repro.sim.faults import FaultInjector
 
@@ -83,6 +85,7 @@ class Primary:
                 scale=self.scale, seed=seed)
         self.connector = SimConnector(self.network)
         self.secondaries: List[Secondary] = []
+        self.adversary: Optional[DoSAdversary] = None
         self.observe = observe
         self.tracer: Optional[LifecycleTracer] = None
         self.profiler: Optional[EngineProfiler] = None
@@ -205,6 +208,17 @@ class Primary:
             self.network.attach_faults(FaultInjector(schedule))
         if len(byzantine):
             self.network.attach_byzantine(byzantine)
+        fees = spec.fees
+        if fees is None and spec.adversary is not None:
+            # an adversary needs a fee market to bid into; a bare
+            # `adversary:` section gets the chain's default dialect
+            fees = FeeSpec()
+        if fees is not None:
+            self.network.attach_fees(fees)
+        if spec.adversary is not None:
+            self.adversary = DoSAdversary(
+                self.network, spec.adversary, duration)
+            self.adversary.start()
         self.network.active_until = duration
         watchdog = LivenessWatchdog(self.engine, self.network,
                                     window=watchdog_window)
@@ -288,4 +302,9 @@ class Primary:
                 records_without_submit)
         if self._sampler is not None:
             result.timeseries = list(self._sampler.samples)
+        if self.network.fee_market is not None:
+            economics = self.network.fee_market.economics()
+            if self.adversary is not None:
+                economics["adversary"] = self.adversary.stats()
+            result.economics = economics
         return result

@@ -93,6 +93,11 @@ class BenchmarkResult:
     #: had observability enabled — untraced runs serialize identically to
     #: runs from before the registry existed
     timeseries: List[Dict[str, Any]] = field(default_factory=list)
+    #: fee-market economics (dialect, closing floor, per-label spend, fee
+    #: percentiles, adversary ledger) — empty unless the run had a
+    #: ``fees:``/``adversary:`` section, so benign runs serialize
+    #: identically to runs from before the fee market existed
+    economics: Dict[str, Any] = field(default_factory=dict)
 
     # -- core aggregates (unscaled back to real-experiment units) ----------------
 
@@ -357,6 +362,8 @@ class BenchmarkResult:
             summary["overload_events"] = self.overload_events
         if self.timeseries:
             summary["timeseries"] = self.timeseries
+        if self.economics:
+            summary["economics"] = self.economics
         return summary
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -381,7 +388,8 @@ class BenchmarkResult:
             status=summary.get("status", "ok"),
             liveness_events=summary.get("liveness_events", []),
             overload_events=summary.get("overload_events", []),
-            timeseries=summary.get("timeseries", []))
+            timeseries=summary.get("timeseries", []),
+            economics=summary.get("economics", {}))
         for raw in payload["transactions"]:
             result.records.append(TransactionRecord(**raw))
         return result

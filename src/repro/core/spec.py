@@ -40,11 +40,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import yaml
 
 from repro.common.errors import SpecError
+from repro.econ.fees import FeeSpec
 from repro.sim.byzantine import (
     ByzantineEvent,
     ByzantineSchedule,
     byzantine_events_from_dicts,
 )
+from repro.sim.dos import AdversarySpec
 from repro.sim.faults import FaultEvent, FaultSchedule, events_from_dicts
 
 # -- samples (the `let:` bindings) --------------------------------------------
@@ -247,12 +249,23 @@ class WorkloadSpec:
     ``deadline`` is an optional cap on total simulated seconds (load plus
     drain): a run that would outlive it is cut short and marked ``failed``
     — the guard against overloaded chains that never drain.
+
+    ``fees`` activates the chain's fee market (dialect and overrides —
+    see :class:`repro.econ.fees.FeeSpec`); ``adversary`` adds a
+    budget-constrained DoS attacker bidding for blockspace on top of it
+    (see :class:`repro.sim.dos.AdversarySpec`; an adversary without a
+    ``fees`` section gets the chain's default fee market). Both are None
+    when their sections are absent, and a None stays entirely out of the
+    pipeline — benign runs are byte-identical to a spec class without
+    these fields.
     """
 
     workloads: Tuple[WorkloadGroup, ...]
     faults: Tuple[FaultEvent, ...] = ()
     byzantine: Tuple[ByzantineEvent, ...] = ()
     deadline: Optional[float] = None
+    fees: Optional[FeeSpec] = None
+    adversary: Optional[AdversarySpec] = None
 
     def __post_init__(self) -> None:
         if not self.workloads:
@@ -409,8 +422,17 @@ def spec_from_dict(document: Dict[str, Any]) -> WorkloadSpec:
         except (TypeError, ValueError):
             raise SpecError(
                 f"'deadline' must be a number, got {raw_deadline!r}") from None
+    raw_fees = document.get("fees")
+    fees = FeeSpec.from_dict(raw_fees) if raw_fees is not None else None
+    if fees is not None and not fees.enabled:
+        # `enabled: false` normalizes to the same spec as an absent
+        # section, preserving the byte-identity contract
+        fees = None
+    raw_adversary = document.get("adversary")
+    adversary = (AdversarySpec.from_dict(raw_adversary)
+                 if raw_adversary is not None else None)
     return WorkloadSpec(tuple(groups), faults=faults, byzantine=byzantine,
-                        deadline=raw_deadline)
+                        deadline=raw_deadline, fees=fees, adversary=adversary)
 
 
 def load_spec(text: str) -> WorkloadSpec:
@@ -426,7 +448,9 @@ def simple_spec(interaction: Interaction, load: LoadSchedule,
                 view: str = ".*",
                 faults: Tuple[FaultEvent, ...] = (),
                 byzantine: Tuple[ByzantineEvent, ...] = (),
-                deadline: Optional[float] = None) -> WorkloadSpec:
+                deadline: Optional[float] = None,
+                fees: Optional[FeeSpec] = None,
+                adversary: Optional[AdversarySpec] = None) -> WorkloadSpec:
     """Programmatic shorthand: one workload group, one behaviour."""
     return WorkloadSpec((WorkloadGroup(
         number=clients,
@@ -434,4 +458,5 @@ def simple_spec(interaction: Interaction, load: LoadSchedule,
             location=LocationSample((location,)),
             view=EndpointSample((view,)),
             behaviors=(Behavior(interaction, load),))),),
-        faults=faults, byzantine=byzantine, deadline=deadline)
+        faults=faults, byzantine=byzantine, deadline=deadline,
+        fees=fees, adversary=adversary)

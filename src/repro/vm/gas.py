@@ -62,6 +62,29 @@ def scaled_schedule(execution_factor: float,
     )
 
 
+def eip1559_base_fee_update(base_fee: int, gas_used: int, gas_target: int,
+                            denominator: int = 8, floor: int = 1) -> int:
+    """One EIP-1559 base-fee step, in pure integer arithmetic.
+
+    The protocol adjusts the base fee by at most ``1/denominator`` per
+    block, proportionally to how far ``gas_used`` landed from
+    ``gas_target`` (the cap divided by the elasticity multiplier). Full
+    blocks push the fee up by the maximum step, empty blocks pull it
+    down; an exactly-on-target block leaves it unchanged. The result
+    never drops below *floor* — integer throughout so the fee trajectory
+    is bit-reproducible across platforms.
+    """
+    if gas_target <= 0:
+        return max(base_fee, floor)
+    if gas_used > gas_target:
+        delta = base_fee * (gas_used - gas_target) // (gas_target * denominator)
+        return base_fee + max(1, delta)
+    if gas_used < gas_target:
+        delta = base_fee * (gas_target - gas_used) // (gas_target * denominator)
+        return max(floor, base_fee - max(1, delta))
+    return max(floor, base_fee)
+
+
 class GasMeter:
     """Tracks gas consumed by one transaction execution.
 

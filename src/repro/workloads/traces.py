@@ -26,13 +26,21 @@ from repro.core.spec import (
     WorkloadSpec,
     simple_spec,
 )
+from repro.econ.fees import FeeSpec
+from repro.sim.dos import AdversarySpec
 
 DEFAULT_ACCOUNTS = 2_000
 
 
 @dataclass(frozen=True)
 class Trace:
-    """One realistic workload: a DApp plus its request-rate envelope."""
+    """One realistic workload: a DApp plus its request-rate envelope.
+
+    ``fees`` / ``adversary`` let a trace carry an economic model: a trace
+    with them set replays the workload against a live fee market (and
+    optionally a budget-constrained attacker). Both default off, so
+    ordinary traces stay byte-identical to their pre-fee-market runs.
+    """
 
     name: str
     dapp: Optional[str]              # key into CONTRACT_FACTORIES, None=native
@@ -40,6 +48,8 @@ class Trace:
     args: Tuple = ()
     schedule: LoadSchedule = None    # type: ignore[assignment]
     description: str = ""
+    fees: Optional[FeeSpec] = None
+    adversary: Optional[AdversarySpec] = None
 
     def __post_init__(self) -> None:
         if self.schedule is None:
@@ -74,7 +84,8 @@ class Trace:
             interaction = InvokeSpec(account_sample,
                                      ContractSample(self.dapp),
                                      self.function, self.args)
-        return simple_spec(interaction, per_client, clients=clients)
+        return simple_spec(interaction, per_client, clients=clients,
+                           fees=self.fees, adversary=self.adversary)
 
     def summary(self) -> Dict[str, object]:
         return {

@@ -106,6 +106,28 @@ class TestDeterminism:
             assert one.cell.label == many.cell.label
             assert one.result_json == many.result_json
 
+    def test_fee_market_trace_workers_1_vs_4_byte_identical(self):
+        """An attacked, fee-priced workload is as reproducible as a benign
+        one: the adversary draws no randomness and fee arithmetic is all
+        integers, so worker count cannot change a byte of the output."""
+        from repro.econ.fees import FeeSpec
+        from repro.sim.dos import AdversarySpec
+        trace = Trace(name="dos-native", dapp=None, function="transfer",
+                      schedule=LoadSchedule.constant(100, 10),
+                      fees=FeeSpec(),
+                      adversary=AdversarySpec(budget=5_000_000, rate=500))
+        spec = SweepSpec(chains=("ethereum", "algorand"), seeds=(1,),
+                         configurations=("testnet",), workloads=(trace,),
+                         scales=(0.05,))
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=4)
+        assert len(serial.outcomes) == 2
+        for one, many in zip(serial.outcomes, parallel.outcomes):
+            assert one.cell.label == many.cell.label
+            assert one.result_json == many.result_json
+            adversary = one.result.economics["adversary"]
+            assert 0 < adversary["spend"] <= adversary["budget"]
+
     def test_outcome_order_is_cell_order_under_pool(self):
         spec = SweepSpec(chains=("solana", "quorum", "diem"), seeds=(1,),
                          **FAST)
