@@ -1,0 +1,89 @@
+"""Performance observability: the pinned bench suite and its trajectory.
+
+``python -m repro bench`` runs a pinned scenario suite (six chains at
+two load levels plus engine/mempool micro-benchmarks), records median
+events/sec, wall-clock per simulated second and peak RSS into a
+schema-versioned ``BENCH_<date>.json`` at the repo root, and compares
+against a committed baseline with noise-aware thresholds. Every later
+"faster" claim in this repo lands as a before/after delta between two
+of these files; CI runs the ``mini`` suite twice per build and fails on
+a regression beyond threshold.
+
+Typical flows::
+
+    # record a trajectory point
+    python -m repro bench --suite full --repeats 3
+
+    # prove a change against the committed baseline
+    python -m repro bench --compare BENCH_2026-08-08.json
+
+    # compare two recorded files without re-running anything
+    python -m repro bench --replay BENCH_new.json --compare BENCH_old.json
+
+See docs/BENCHMARKS.md for the suite contents and refresh procedure.
+"""
+
+from __future__ import annotations
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLDS,
+    BenchComparison,
+    MetricDelta,
+    ScenarioDelta,
+    compare_benches,
+    compare_scenario,
+    thresholds_scaled,
+)
+from repro.bench.report import bench_summary, comparison_report, comparison_table
+from repro.bench.runner import (
+    BenchDeterminismError,
+    aggregate_scenario,
+    run_scenario_once,
+    run_suite,
+)
+from repro.bench.schema import (
+    SCHEMA_TAG,
+    SCHEMA_VERSION,
+    BenchFormatError,
+    bench_date,
+    bench_filename,
+    build_payload,
+    dump_bench,
+    latest_bench_file,
+    load_bench,
+    validate_payload,
+    write_bench,
+)
+from repro.bench.suite import SUITES, Scenario, get_suite, scenario_by_name
+
+__all__ = [
+    "BenchComparison",
+    "BenchDeterminismError",
+    "BenchFormatError",
+    "DEFAULT_THRESHOLDS",
+    "MetricDelta",
+    "SCHEMA_TAG",
+    "SCHEMA_VERSION",
+    "SUITES",
+    "Scenario",
+    "ScenarioDelta",
+    "aggregate_scenario",
+    "bench_date",
+    "bench_filename",
+    "bench_summary",
+    "build_payload",
+    "compare_benches",
+    "compare_scenario",
+    "comparison_report",
+    "comparison_table",
+    "dump_bench",
+    "get_suite",
+    "latest_bench_file",
+    "load_bench",
+    "run_scenario_once",
+    "run_suite",
+    "scenario_by_name",
+    "thresholds_scaled",
+    "validate_payload",
+    "write_bench",
+]

@@ -1,0 +1,172 @@
+"""Noise-aware comparison of two bench payloads.
+
+Timed metrics are machine-dependent and jittery, so each comparison
+carries a per-metric relative threshold: a change within the threshold
+is ``ok`` (noise), beyond it is ``regressed`` or ``improved`` depending
+on the metric's direction (throughput up is good, wall-clock and RSS up
+are bad). Counted metrics are exactly deterministic, so *any* change is
+flagged (``changed``) — it means behaviour, not performance, moved;
+whether that fails the build is the caller's choice (``strict_counted``
+in CI, where the same code runs twice and must agree exactly).
+
+Scenario-set drift is reported, not failed: a scenario present only in
+the current run is ``new`` (the suite grew), one present only in the
+baseline is ``removed`` — neither produces a fake delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: metric name -> (relative threshold, direction); direction +1 means
+#: "bigger is better" (events/sec), -1 means "bigger is worse"
+DEFAULT_THRESHOLDS: Dict[str, Tuple[float, int]] = {
+    "events_per_second": (0.20, +1),
+    "wall_seconds": (0.20, -1),
+    "wall_per_sim_second": (0.20, -1),
+    "peak_rss_bytes": (0.30, -1),
+}
+
+VERDICT_OK = "ok"
+VERDICT_IMPROVED = "improved"
+VERDICT_REGRESSED = "regressed"
+VERDICT_CHANGED = "changed"
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One timed metric compared across two bench points."""
+
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    delta: Optional[float]  # relative change, None when incomparable
+    verdict: str
+
+
+@dataclass(frozen=True)
+class ScenarioDelta:
+    """One scenario's full comparison."""
+
+    name: str
+    metrics: Tuple[MetricDelta, ...]
+    counted_verdict: str
+    counted_changes: Tuple[str, ...] = ()
+
+    @property
+    def regressed(self) -> bool:
+        return any(m.verdict == VERDICT_REGRESSED for m in self.metrics)
+
+    @property
+    def improved(self) -> bool:
+        return any(m.verdict == VERDICT_IMPROVED for m in self.metrics)
+
+
+@dataclass
+class BenchComparison:
+    """The comparison of a current bench payload against a baseline."""
+
+    baseline_date: str
+    current_date: str
+    scenarios: List[ScenarioDelta] = field(default_factory=list)
+    new_scenarios: List[str] = field(default_factory=list)
+    removed_scenarios: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[ScenarioDelta]:
+        return [s for s in self.scenarios if s.regressed]
+
+    @property
+    def improvements(self) -> List[ScenarioDelta]:
+        return [s for s in self.scenarios if s.improved]
+
+    @property
+    def counted_changes(self) -> List[ScenarioDelta]:
+        return [s for s in self.scenarios
+                if s.counted_verdict == VERDICT_CHANGED]
+
+    def verdict(self, strict_counted: bool = False) -> str:
+        """Overall verdict: ``regressed`` trumps ``improved`` trumps ok."""
+        if self.regressions:
+            return VERDICT_REGRESSED
+        if strict_counted and self.counted_changes:
+            return VERDICT_CHANGED
+        if self.improvements:
+            return VERDICT_IMPROVED
+        return VERDICT_OK
+
+    def exit_code(self, strict_counted: bool = False) -> int:
+        return 0 if self.verdict(strict_counted) in (VERDICT_OK,
+                                                     VERDICT_IMPROVED) else 1
+
+
+def _compare_metric(metric: str, baseline: Optional[float],
+                    current: Optional[float],
+                    threshold: float, direction: int) -> MetricDelta:
+    if baseline is None or current is None or baseline == 0:
+        return MetricDelta(metric, baseline, current, None, VERDICT_OK)
+    delta = (current - baseline) / baseline
+    # positive score = better, negative = worse, in units of "relative
+    # change in the good direction"
+    score = delta * direction
+    if score < -threshold:
+        verdict = VERDICT_REGRESSED
+    elif score > threshold:
+        verdict = VERDICT_IMPROVED
+    else:
+        verdict = VERDICT_OK
+    return MetricDelta(metric, baseline, current, delta, verdict)
+
+
+def compare_scenario(name: str, baseline: Dict[str, Any],
+                     current: Dict[str, Any],
+                     thresholds: Optional[Dict[str, Tuple[float, int]]] = None
+                     ) -> ScenarioDelta:
+    thresholds = thresholds or DEFAULT_THRESHOLDS
+    metrics = []
+    for metric, (threshold, direction) in thresholds.items():
+        metrics.append(_compare_metric(
+            metric,
+            baseline.get("timed", {}).get(metric),
+            current.get("timed", {}).get(metric),
+            threshold, direction))
+    base_counted = baseline.get("counted", {})
+    cur_counted = current.get("counted", {})
+    changed = tuple(sorted(
+        key for key in set(base_counted) | set(cur_counted)
+        if base_counted.get(key) != cur_counted.get(key)))
+    return ScenarioDelta(
+        name=name,
+        metrics=tuple(metrics),
+        counted_verdict=VERDICT_CHANGED if changed else VERDICT_OK,
+        counted_changes=changed)
+
+
+def compare_benches(baseline: Dict[str, Any], current: Dict[str, Any],
+                    thresholds: Optional[Dict[str, Tuple[float, int]]] = None
+                    ) -> BenchComparison:
+    """Compare two loaded bench payloads scenario by scenario."""
+    base_scenarios = baseline.get("scenarios", {})
+    cur_scenarios = current.get("scenarios", {})
+    comparison = BenchComparison(
+        baseline_date=str(baseline.get("date", "?")),
+        current_date=str(current.get("date", "?")),
+        new_scenarios=sorted(set(cur_scenarios) - set(base_scenarios)),
+        removed_scenarios=sorted(set(base_scenarios) - set(cur_scenarios)))
+    for name in sorted(set(base_scenarios) & set(cur_scenarios)):
+        comparison.scenarios.append(compare_scenario(
+            name, base_scenarios[name], cur_scenarios[name], thresholds))
+    return comparison
+
+
+def thresholds_scaled(factor: float) -> Dict[str, Tuple[float, int]]:
+    """The default thresholds with every tolerance multiplied by *factor*.
+
+    The CI gate widens tolerances on shared runners (``--threshold-scale
+    2``) without touching the per-metric structure.
+    """
+    if factor <= 0:
+        raise ValueError(f"threshold scale must be positive, got {factor}")
+    return {metric: (threshold * factor, direction)
+            for metric, (threshold, direction) in DEFAULT_THRESHOLDS.items()}

@@ -1,0 +1,131 @@
+"""Human-readable output for ``python -m repro bench``.
+
+Two renderers: the run summary (one row per scenario of the freshly
+recorded payload) and the comparison table (markdown, one row per
+scenario x metric, with the noise-aware verdict column) — the latter is
+what lands in PR descriptions as the before/after evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.bench.compare import (
+    VERDICT_CHANGED,
+    VERDICT_IMPROVED,
+    VERDICT_OK,
+    VERDICT_REGRESSED,
+    BenchComparison,
+)
+
+_UNITS = {
+    "wall_seconds": "s",
+    "events_per_second": "ev/s",
+    "wall_per_sim_second": "s/sim-s",
+    "peak_rss_bytes": "B",
+}
+
+
+def _fmt(metric: str, value: Any) -> str:
+    if value is None:
+        return "-"
+    if metric == "peak_rss_bytes":
+        return f"{value / (1 << 20):.1f} MiB"
+    if metric == "events_per_second":
+        return f"{value:,.0f}"
+    return f"{value:.4g}"
+
+
+def bench_summary(payload: Dict[str, Any]) -> str:
+    """Per-scenario summary of one recorded bench payload."""
+    from repro.obs.report import format_table
+
+    rows: List[Dict[str, Any]] = []
+    for name, scenario in sorted(payload["scenarios"].items()):
+        timed = scenario["timed"]
+        top = ""
+        if scenario.get("subsystems"):
+            hottest = max(scenario["subsystems"].items(),
+                          key=lambda item: item[1])
+            top = f"{hottest[0]} {hottest[1]:.0%}"
+        rows.append({
+            "scenario": name,
+            "wall_s": _fmt("wall_seconds", timed["wall_seconds"]),
+            "events_per_s": _fmt("events_per_second",
+                                 timed["events_per_second"]),
+            "wall_per_sim_s": _fmt("wall_per_sim_second",
+                                   timed["wall_per_sim_second"]),
+            "peak_rss": _fmt("peak_rss_bytes", timed["peak_rss_bytes"]),
+            "hottest": top or "-",
+        })
+    header = (f"bench {payload['date']} — suite={payload['suite']}"
+              f" repeats={payload['repeats']}"
+              + (f" — {payload['label']}" if payload.get("label") else ""))
+    return header + "\n\n" + format_table(rows)
+
+
+_VERDICT_MARK = {
+    VERDICT_OK: "·",
+    VERDICT_IMPROVED: "✓ improved",
+    VERDICT_REGRESSED: "✗ REGRESSED",
+    VERDICT_CHANGED: "! changed",
+}
+
+
+def comparison_table(comparison: BenchComparison,
+                     only_interesting: bool = False) -> str:
+    """Markdown comparison table: scenario x metric with verdicts.
+
+    ``only_interesting`` drops rows whose verdict is plain noise-level
+    ``ok``, keeping the table reviewable for large suites.
+    """
+    lines = [
+        f"| scenario | metric | {comparison.baseline_date} (base) |"
+        f" {comparison.current_date} | delta | verdict |",
+        "|---|---|---|---|---|---|",
+    ]
+    for scenario in comparison.scenarios:
+        for metric in scenario.metrics:
+            if only_interesting and metric.verdict == VERDICT_OK:
+                continue
+            delta = ("-" if metric.delta is None
+                     else f"{metric.delta:+.1%}")
+            lines.append(
+                f"| {scenario.name} | {metric.metric}"
+                f" | {_fmt(metric.metric, metric.baseline)}"
+                f" | {_fmt(metric.metric, metric.current)}"
+                f" | {delta} | {_VERDICT_MARK[metric.verdict]} |")
+        if scenario.counted_verdict == VERDICT_CHANGED:
+            changed = ", ".join(scenario.counted_changes)
+            lines.append(
+                f"| {scenario.name} | counted | | | {changed}"
+                f" | {_VERDICT_MARK[VERDICT_CHANGED]} |")
+    return "\n".join(lines)
+
+
+def comparison_report(comparison: BenchComparison,
+                      strict_counted: bool = False) -> str:
+    """Table plus the one-line verdict (the CLI's stdout)."""
+    lines = [comparison_table(comparison)]
+    if comparison.new_scenarios:
+        lines.append("")
+        lines.append("new scenarios (no baseline): "
+                     + ", ".join(comparison.new_scenarios))
+    if comparison.removed_scenarios:
+        lines.append("")
+        lines.append("removed scenarios (baseline only): "
+                     + ", ".join(comparison.removed_scenarios))
+    verdict = comparison.verdict(strict_counted)
+    regressed = [s.name for s in comparison.regressions]
+    improved = [s.name for s in comparison.improvements]
+    changed = [s.name for s in comparison.counted_changes]
+    lines.append("")
+    summary = [f"verdict: {verdict}"]
+    if regressed:
+        summary.append(f"regressed: {', '.join(regressed)}")
+    if improved:
+        summary.append(f"improved: {', '.join(improved)}")
+    if changed:
+        summary.append(f"counted changed: {', '.join(changed)}")
+    lines.append("; ".join(summary))
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Execute bench scenarios and aggregate repeat medians.
+
+Each scenario runs ``repeats`` times; wall-clock, events/sec, wall per
+simulated second and peak RSS are recorded per repeat and the *median*
+lands in the bench file (with the min/max spread kept alongside, so a
+noisy host is visible in the data). One extra *attribution* pass runs
+with the :class:`~repro.obs.profiler.EngineProfiler` attached to
+produce per-subsystem wall-clock shares — profiled runs are
+outcome-identical, so the pass doubles as a determinism check against
+the timed repeats.
+
+By default every repeat executes in a fresh spawned subprocess
+(``maxtasksperchild=1``): peak RSS is a process-wide high-water mark,
+so sharing a process across cells would let a big cell inflate every
+later cell's figure. ``isolate=False`` runs everything inline — faster,
+used by the test suite, with the documented caveat that RSS figures
+become cumulative.
+
+Deterministic ("counted") metrics — event totals, transactions
+submitted/committed, messages sent — must agree across every repeat and
+the attribution pass, at any ``--workers`` value; a mismatch raises
+:class:`BenchDeterminismError` because it means the simulation itself
+went nondeterministic, which is a bug worth failing loudly for.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import statistics
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.bench.schema import build_payload
+from repro.bench.suite import MICRO_BODIES, Scenario, get_suite
+from repro.common.errors import SimulationError
+from repro.obs.profiler import EngineProfiler, peak_rss_bytes
+
+#: sim-seconds of post-load drain pinned for chain cells (shorter than
+#: the Primary default — the bench wants a tight, comparable horizon)
+CHAIN_CELL_DRAIN = 60.0
+
+ProgressFn = Callable[[str, str], None]
+
+
+class BenchDeterminismError(SimulationError):
+    """Counted metrics differed between repeats of one scenario."""
+
+
+# -- one repeat ---------------------------------------------------------------
+
+
+def _run_chain_cell(params: Dict[str, Any], profile: bool
+                    ) -> Tuple[Dict[str, Any], Optional[Dict[str, float]]]:
+    from repro.core.primary import Primary
+    from repro.core.spec import (
+        AccountSample,
+        LoadSchedule,
+        TransferSpec,
+        simple_spec,
+    )
+    from repro.obs import ObservabilityOptions
+
+    observe = (ObservabilityOptions(trace=False, profile=True,
+                                    sample_period=0.0) if profile else None)
+    spec = simple_spec(
+        TransferSpec(AccountSample(int(params["accounts"]))),
+        LoadSchedule.constant(float(params["rate_tps"]),
+                              float(params["duration_s"])))
+    primary = Primary(params["chain"], params["configuration"],
+                      scale=float(params["scale"]),
+                      seed=int(params["seed"]), observe=observe)
+    result = primary.run(spec, workload_name="bench",
+                         drain=CHAIN_CELL_DRAIN)
+    counted = {
+        "events_executed": primary.engine.events_executed,
+        "submitted": len(result.records),
+        "committed": sum(1 for r in result.records if r.committed),
+        "height": int(result.chain_stats.get("height", 0)),
+    }
+    subsystems = (primary.profiler.subsystem_shares()
+                  if primary.profiler is not None else None)
+    return ({"sim_seconds": primary.engine.now,
+             "events_executed": primary.engine.events_executed,
+             "counted": counted}, subsystems)
+
+
+def run_scenario_once(scenario: Scenario,
+                      profile: bool = False) -> Dict[str, Any]:
+    """One repeat of *scenario* in the current process.
+
+    Returns wall/sim seconds, event totals, peak RSS (bytes, cumulative
+    for this process) and the counted-metric dict; with ``profile``,
+    also the per-subsystem wall-clock shares.
+    """
+    start = time.perf_counter()
+    if scenario.kind == "chain":
+        measured, subsystems = _run_chain_cell(dict(scenario.params), profile)
+    else:
+        body = MICRO_BODIES[scenario.params["micro"]]
+        profiler = EngineProfiler() if profile else None
+        engine, counted = body(scenario.params, profiler)
+        subsystems = (profiler.subsystem_shares()
+                      if profiler is not None else None)
+        measured = {
+            "sim_seconds": engine.now if engine is not None else 0.0,
+            "events_executed": (engine.events_executed
+                                if engine is not None else 0),
+            "counted": counted,
+        }
+    wall = time.perf_counter() - start
+    sim = measured["sim_seconds"]
+    events = measured["events_executed"]
+    return {
+        "wall_seconds": wall,
+        "sim_seconds": sim,
+        "events_executed": events,
+        "events_per_second": (events / wall) if events and wall > 0 else None,
+        "wall_per_sim_second": (wall / sim) if sim > 0 else None,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "counted": dict(measured["counted"]),
+        "subsystems": subsystems,
+    }
+
+
+def _job(args: Tuple[str, bool]) -> Dict[str, Any]:
+    """Pool entry point: (scenario name, profile flag) → repeat metrics."""
+    from repro.bench.suite import scenario_by_name
+
+    name, profile = args
+    return run_scenario_once(scenario_by_name(name), profile=profile)
+
+
+# -- aggregation --------------------------------------------------------------
+
+_TIMED_METRICS = ("wall_seconds", "events_per_second",
+                  "wall_per_sim_second", "peak_rss_bytes")
+
+
+def _median(values: List[Optional[float]]) -> Optional[float]:
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    return float(statistics.median(present))
+
+
+def _check_counted(scenario: Scenario,
+                   repeats: List[Dict[str, Any]]) -> Dict[str, int]:
+    reference = repeats[0]["counted"]
+    for index, repeat in enumerate(repeats[1:], start=2):
+        if repeat["counted"] != reference:
+            raise BenchDeterminismError(
+                f"scenario {scenario.name}: counted metrics diverged"
+                f" between repeat 1 and repeat {index}:"
+                f" {reference} != {repeat['counted']}")
+    return {key: int(value) for key, value in sorted(reference.items())}
+
+
+def aggregate_scenario(scenario: Scenario,
+                       repeats: List[Dict[str, Any]],
+                       attribution: Optional[Dict[str, Any]] = None
+                       ) -> Dict[str, Any]:
+    """Fold per-repeat metrics into one bench-file scenario entry."""
+    everything = repeats + ([attribution] if attribution is not None else [])
+    counted = _check_counted(scenario, everything)
+    timed: Dict[str, Any] = {}
+    spread: Dict[str, Any] = {}
+    for metric in _TIMED_METRICS:
+        values = [repeat[metric] for repeat in repeats]
+        median = _median(values)
+        if metric == "peak_rss_bytes" and median is not None:
+            median = int(median)
+        timed[metric] = (round(median, 6)
+                         if isinstance(median, float) else median)
+        present = [v for v in values if v is not None]
+        if len(present) > 1:
+            spread[metric] = [round(float(min(present)), 6),
+                              round(float(max(present)), 6)]
+    subsystems: Dict[str, float] = {}
+    if attribution is not None and attribution.get("subsystems"):
+        subsystems = {name: round(share, 4)
+                      for name, share in attribution["subsystems"].items()}
+    return {
+        "kind": scenario.kind,
+        "params": scenario.describe(),
+        "counted": counted,
+        "timed": timed,
+        "spread": spread,
+        "subsystems": subsystems,
+    }
+
+
+# -- the suite ----------------------------------------------------------------
+
+
+def run_suite(suite: str = "full", repeats: int = 3, workers: int = 1,
+              isolate: bool = True, label: str = "",
+              progress: Optional[ProgressFn] = None) -> Dict[str, Any]:
+    """Run a pinned suite; return the schema-versioned payload.
+
+    Jobs (every repeat of every scenario, plus one attribution pass per
+    scenario) are independent; ``workers`` fans them over a spawn pool
+    with ``maxtasksperchild=1``. Counted metrics are identical at any
+    worker count — only the machine-dependent timed metrics may wobble
+    under CPU contention, which is why ``workers=1`` is the default for
+    recorded trajectory points.
+    """
+    scenarios = get_suite(suite)
+    if repeats < 1:
+        raise SimulationError(f"repeats must be >= 1, got {repeats}")
+    jobs: List[Tuple[str, bool]] = []
+    for scenario in scenarios:
+        jobs.extend((scenario.name, False) for _ in range(repeats))
+        jobs.append((scenario.name, True))  # attribution pass
+
+    if progress is not None:
+        progress("start", f"{suite}: {len(scenarios)} scenarios,"
+                 f" {len(jobs)} runs")
+    if isolate:
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=max(1, workers),
+                          maxtasksperchild=1) as pool:
+            outcomes = pool.map(_job, jobs)
+    else:
+        outcomes = [_job(job) for job in jobs]
+
+    results: Dict[str, Dict[str, Any]] = {}
+    cursor = 0
+    for scenario in scenarios:
+        timed_repeats = outcomes[cursor:cursor + repeats]
+        attribution = outcomes[cursor + repeats]
+        cursor += repeats + 1
+        results[scenario.name] = aggregate_scenario(
+            scenario, timed_repeats, attribution)
+        if progress is not None:
+            timed = results[scenario.name]["timed"]
+            eps = timed["events_per_second"]
+            progress("done", f"{scenario.name}: "
+                     f"{timed['wall_seconds']:.3f}s wall"
+                     + (f", {eps:,.0f} events/s" if eps else ""))
+    return build_payload(results, suite=suite, repeats=repeats, label=label)

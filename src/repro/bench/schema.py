@@ -1,0 +1,162 @@
+"""Schema-versioned on-disk format of ``BENCH_<date>.json`` files.
+
+One bench file is one point on the repo's performance trajectory: the
+pinned suite run on one machine at one commit. Files live at the repo
+root (``BENCH_2026-08-08.json``), are schema-versioned so older files
+stay loadable when the format grows, and are written with sorted keys
+and a trailing newline so reruns of identical measurements diff cleanly.
+
+Top-level layout (``SCHEMA_VERSION`` 1)::
+
+    {
+      "schema": "repro-bench/1",
+      "date": "2026-08-08",
+      "label": "free-form description of this point",
+      "suite": "full",
+      "repeats": 3,
+      "platform": {"python": ..., "system": ..., "machine": ...,
+                   "rss_units": "bytes"},
+      "scenarios": {
+        "<name>": {
+          "kind": "chain" | "micro",
+          "params": {...},                  # pinned scenario knobs
+          "counted": {"events_executed": N, ...},   # deterministic ints
+          "timed": {"wall_seconds": s, "events_per_second": e,
+                    "wall_per_sim_second": w | null,
+                    "peak_rss_bytes": b},   # medians over repeats
+          "spread": {"<timed metric>": [min, max], ...},
+          "subsystems": {"network": 0.4, ...}       # wall-clock shares
+        }, ...
+      }
+    }
+
+``counted`` metrics are exactly reproducible on any machine (the
+simulation is deterministic); ``timed`` metrics are machine-dependent
+and only comparable against runs from the same host.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from datetime import date as _date
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+SCHEMA_VERSION = 1
+SCHEMA_TAG = f"repro-bench/{SCHEMA_VERSION}"
+
+#: environment override for the date stamped into filename and payload
+#: (pins output names in tests and when recording a historical point)
+DATE_ENV = "REPRO_BENCH_DATE"
+
+
+class BenchFormatError(ValueError):
+    """A bench file failed schema validation."""
+
+
+def bench_date() -> str:
+    """Today's ISO date, unless ``REPRO_BENCH_DATE`` overrides it."""
+    override = os.environ.get(DATE_ENV)
+    if override:
+        return override
+    return _date.today().isoformat()
+
+
+def bench_filename(date: Optional[str] = None) -> str:
+    """Canonical repo-root filename for a bench point."""
+    return f"BENCH_{date or bench_date()}.json"
+
+
+def platform_info() -> Dict[str, str]:
+    """The host fingerprint recorded next to machine-dependent metrics."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "rss_units": "bytes",
+    }
+
+
+def build_payload(scenarios: Dict[str, Dict[str, Any]], suite: str,
+                  repeats: int, label: str = "",
+                  date: Optional[str] = None) -> Dict[str, Any]:
+    """Assemble the schema-versioned payload for one suite run."""
+    return {
+        "schema": SCHEMA_TAG,
+        "date": date or bench_date(),
+        "label": label,
+        "suite": suite,
+        "repeats": repeats,
+        "platform": platform_info(),
+        "scenarios": scenarios,
+    }
+
+
+_REQUIRED_TOP = ("schema", "date", "suite", "repeats", "scenarios")
+_REQUIRED_SCENARIO = ("kind", "counted", "timed")
+
+
+def validate_payload(payload: Dict[str, Any]) -> None:
+    """Raise :class:`BenchFormatError` unless *payload* matches the schema."""
+    for key in _REQUIRED_TOP:
+        if key not in payload:
+            raise BenchFormatError(f"bench payload missing {key!r}")
+    schema = payload["schema"]
+    if not isinstance(schema, str) or not schema.startswith("repro-bench/"):
+        raise BenchFormatError(f"not a repro-bench file (schema={schema!r})")
+    version = schema.split("/", 1)[1]
+    if not version.isdigit() or int(version) > SCHEMA_VERSION:
+        raise BenchFormatError(
+            f"bench schema {schema!r} is newer than this tool"
+            f" (understands up to repro-bench/{SCHEMA_VERSION})")
+    scenarios = payload["scenarios"]
+    if not isinstance(scenarios, dict):
+        raise BenchFormatError("scenarios must be an object")
+    for name, scenario in scenarios.items():
+        for key in _REQUIRED_SCENARIO:
+            if key not in scenario:
+                raise BenchFormatError(
+                    f"scenario {name!r} missing {key!r}")
+        for metric, value in scenario["counted"].items():
+            if not isinstance(value, int):
+                raise BenchFormatError(
+                    f"scenario {name!r} counted metric {metric!r} must be"
+                    f" an integer, got {value!r}")
+
+
+def dump_bench(payload: Dict[str, Any]) -> str:
+    """Serialize a payload byte-stably (sorted keys, trailing newline)."""
+    validate_payload(payload)
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_bench(payload: Dict[str, Any], path: Path) -> Path:
+    path = Path(path)
+    path.write_text(dump_bench(payload))
+    return path
+
+
+def load_bench(path: Path) -> Dict[str, Any]:
+    """Load and validate a bench file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BenchFormatError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise BenchFormatError(f"{path}: top level must be an object")
+    validate_payload(payload)
+    return payload
+
+
+def latest_bench_file(root: Path) -> Optional[Path]:
+    """The newest ``BENCH_*.json`` under *root* by filename date order."""
+    candidates: Iterable[Path] = sorted(Path(root).glob("BENCH_*.json"))
+    newest = None
+    for candidate in candidates:
+        newest = candidate
+    return newest

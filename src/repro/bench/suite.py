@@ -1,0 +1,230 @@
+"""The pinned performance scenario suite.
+
+Two scenario kinds:
+
+* **chain** cells run a full benchmark (Primary + Secondaries + chain
+  runtime) with pinned workload knobs — one *small* and one *medium*
+  cell per registered chain, so a hot-path change shows up per chain
+  and per load level;
+* **micro** cells exercise one subsystem in isolation (the event
+  calendar, the network broadcast path, the mempool) so an engine
+  optimization is measurable without the noise of a whole benchmark.
+
+The suite is *pinned*: scenario parameters are part of the measurement
+contract, and changing them invalidates comparison against older
+``BENCH_*.json`` files (the compare step flags the scenario as
+new/removed rather than producing a bogus delta).
+
+``full`` is what a dated trajectory point records; ``mini`` is the CI
+regression gate (micros + two chain cells, small enough to run twice
+per build).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: chains in the pinned suite, in run order (the registry's six)
+SUITE_CHAINS = ("algorand", "avalanche", "diem", "ethereum", "quorum",
+                "solana")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One pinned cell of the bench suite."""
+
+    name: str
+    kind: str  # "chain" | "micro"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("chain", "micro"):
+            raise ConfigurationError(f"bad scenario kind {self.kind!r}")
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``params`` block recorded in the bench file."""
+        return dict(sorted(self.params.items()))
+
+
+def _chain_cell(chain: str, size: str, *, rate: float, duration: float,
+                scale: float) -> Scenario:
+    return Scenario(
+        name=f"chain-{chain}-{size}",
+        kind="chain",
+        params={
+            "chain": chain,
+            "configuration": "testnet",
+            "rate_tps": rate,
+            "duration_s": duration,
+            "scale": scale,
+            "accounts": 2_000,
+            "seed": 1,
+        })
+
+
+def _micro(name: str, **params: Any) -> Scenario:
+    return Scenario(name=f"micro-{name}", kind="micro",
+                    params={"micro": name, **params})
+
+
+#: micro knobs are pinned here (suite identity), consumed by the runner
+MICROS: Tuple[Scenario, ...] = (
+    _micro("engine-calendar", chains=200, depth=1_000),
+    _micro("engine-broadcast", endpoints=40, rounds=600),
+    _micro("mempool-churn", transactions=40_000, capacity=5_000,
+           batch=500),
+)
+
+_SMALL = [_chain_cell(chain, "small", rate=500.0, duration=60.0, scale=0.5)
+          for chain in SUITE_CHAINS]
+_MEDIUM = [_chain_cell(chain, "medium", rate=1_000.0, duration=60.0,
+                       scale=1.0) for chain in SUITE_CHAINS]
+
+SUITES: Dict[str, Tuple[Scenario, ...]] = {
+    "full": tuple(MICROS) + tuple(_SMALL) + tuple(_MEDIUM),
+    "mini": tuple(MICROS) + (
+        _chain_cell("quorum", "small", rate=500.0, duration=60.0, scale=0.5),
+        _chain_cell("solana", "small", rate=500.0, duration=60.0, scale=0.5),
+    ),
+}
+
+
+def get_suite(name: str) -> Tuple[Scenario, ...]:
+    if name not in SUITES:
+        raise ConfigurationError(
+            f"unknown suite {name!r} (have: {', '.join(sorted(SUITES))})")
+    return SUITES[name]
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look a scenario up across all suites (they share definitions)."""
+    for suite in SUITES.values():
+        for scenario in suite:
+            if scenario.name == name:
+                return scenario
+    raise ConfigurationError(f"unknown scenario {name!r}")
+
+
+# -- micro scenario bodies ----------------------------------------------------
+#
+# Each body returns (engine_or_none, counted) where ``counted`` holds the
+# deterministic integers the compare step checks exactly. The runner
+# wraps the call with wall-clock and RSS measurement.
+
+
+def _run_engine_calendar(params: Mapping[str, Any],
+                         profiler: Optional[Any]) -> Tuple[Any, Dict[str, int]]:
+    """Self-perpetuating event chains through the bare calendar.
+
+    ``chains`` independent chains each schedule ``depth`` follow-up
+    events at pseudo-random offsets; every tenth event also schedules
+    and immediately cancels a decoy, so the cancelled-event pop path is
+    part of the measurement.
+    """
+    from repro.common.rng import RngFactory
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+    engine.profiler = profiler
+    rng = RngFactory(11).stream("bench", "calendar")
+    chains = int(params["chains"])
+    depth = int(params["depth"])
+    remaining = [depth] * chains
+    cancelled = [0]
+
+    def tick(i: int) -> None:
+        if remaining[i] <= 0:
+            return
+        remaining[i] -= 1
+        handle = engine.schedule_after(
+            float(rng.random()) * 0.1, lambda: tick(i), label="bench-tick")
+        if remaining[i] % 10 == 0:
+            decoy = engine.schedule_after(
+                1.0, lambda: None, label="bench-decoy")
+            decoy.cancel()
+            cancelled[0] += 1
+        _ = handle
+
+    for i in range(chains):
+        engine.schedule_after(float(rng.random()) * 0.1,
+                              (lambda i=i: tick(i)), label="bench-tick")
+    engine.run()
+    return engine, {
+        "events_executed": engine.events_executed,
+        "decoys_cancelled": cancelled[0],
+    }
+
+
+def _run_engine_broadcast(params: Mapping[str, Any],
+                          profiler: Optional[Any]
+                          ) -> Tuple[Any, Dict[str, int]]:
+    """The network broadcast path: one sender fanning out per round."""
+    from repro.common.rng import RngFactory
+    from repro.sim.engine import Engine
+    from repro.sim.network import Network, spread_endpoints
+
+    engine = Engine()
+    engine.profiler = profiler
+    endpoints = spread_endpoints(int(params["endpoints"]))
+    network = Network(engine, rng_factory=RngFactory(5))
+    rounds = int(params["rounds"])
+    delivered = [0]
+
+    def deliver(_endpoint: Any) -> None:
+        delivered[0] += 1
+
+    def fire(r: int) -> None:
+        src = endpoints[r % len(endpoints)]
+        dsts = [ep for ep in endpoints if ep is not src]
+        # default label => "network-delivery", so the attribution pass
+        # books the fan-out under the network subsystem
+        network.broadcast(src, dsts, size=400, on_delivery=deliver)
+
+    for r in range(rounds):
+        engine.schedule_at(r * 0.01, (lambda r=r: fire(r)),
+                           label="bench-round")
+    engine.run()
+    return engine, {
+        "events_executed": engine.events_executed,
+        "messages_sent": network.messages_sent,
+        "messages_delivered": delivered[0],
+    }
+
+
+def _run_mempool_churn(params: Mapping[str, Any],
+                       profiler: Optional[Any]) -> Tuple[Any, Dict[str, int]]:
+    """Transaction allocation + pool admission/eviction/ordering churn."""
+    from repro.chain.mempool import Mempool, MempoolPolicy
+    from repro.chain.transaction import reset_tx_counter, transfer
+
+    reset_tx_counter()
+    total = int(params["transactions"])
+    batch = int(params["batch"])
+    pool = Mempool(MempoolPolicy(capacity=int(params["capacity"]),
+                                 fee_ordered=True, evict_oldest=True))
+    popped = 0
+    for i in range(total):
+        tx = transfer(sender=f"acct-{i % 997}", recipient=f"acct-{i % 991}",
+                      amount=1, sequence=i, fee_per_gas=1 + (i * 7) % 64)
+        tx.submitted_at = float(i) * 1e-3
+        pool.try_add(tx)
+        if i % 1_000 == 999:
+            popped += len(pool.pop_batch(max_count=batch))
+    popped += len(pool.pop_batch())
+    return None, {
+        "transactions_created": total,
+        "admitted": pool.admitted,
+        "popped": popped,
+        "evicted": pool.evicted,
+    }
+
+
+MICRO_BODIES: Dict[str, Callable[[Mapping[str, Any], Optional[Any]],
+                                 Tuple[Any, Dict[str, int]]]] = {
+    "engine-calendar": _run_engine_calendar,
+    "engine-broadcast": _run_engine_broadcast,
+    "mempool-churn": _run_mempool_churn,
+}

@@ -45,7 +45,7 @@ class TxKind(Enum):
     INVOKE = "invoke"
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """A signed client request.
 

@@ -28,7 +28,7 @@ from repro.sim.network import Endpoint, Network, spread_endpoints
 VOTE_MESSAGE_SIZE = 200  # bytes: digest + signature + metadata
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A protocol message between replicas."""
 
@@ -38,7 +38,7 @@ class Message:
     size: int = VOTE_MESSAGE_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decision:
     """A committed value: (height/slot, value, deciding node, time)."""
 

@@ -19,7 +19,7 @@ import numpy as np
 from repro.chain.transaction import Transaction
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransactionRecord:
     """One transaction's benchmark-relevant timestamps and outcome."""
 

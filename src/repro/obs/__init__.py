@@ -34,11 +34,17 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSampler,
 )
-from repro.obs.profiler import EngineProfiler
+from repro.obs.profiler import (
+    SUBSYSTEMS,
+    EngineProfiler,
+    peak_rss_bytes,
+    subsystem_for,
+)
 from repro.obs.report import (
     consensus_table,
     hotspot_table,
     phase_table,
+    subsystem_table,
     sweep_report,
     sweep_table,
     trace_report,
@@ -78,14 +84,18 @@ __all__ = [
     "MetricsSampler",
     "NullTracer",
     "ObservabilityOptions",
+    "SUBSYSTEMS",
     "Span",
     "TX_PHASES",
     "chrome_trace",
     "consensus_table",
     "hotspot_table",
     "load_spans_jsonl",
+    "peak_rss_bytes",
     "phase_table",
     "spans_to_jsonl",
+    "subsystem_for",
+    "subsystem_table",
     "sweep_report",
     "sweep_table",
     "trace_report",

@@ -44,7 +44,7 @@ TX_PHASES: Tuple[str, ...] = (
     "admission", "mempool", "execution", "consensus", "receipt")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     """One closed interval of a traced entity's lifecycle."""
 

@@ -9,26 +9,38 @@ deterministically in a single OS process.
 
 Events scheduled at the same virtual time are ordered by insertion order,
 which keeps runs reproducible regardless of dict/set iteration details.
+
+The calendar is the hottest data structure in the repo — every message
+delivery, block, client emission and timer passes through it — so its
+representation is chosen from bench evidence (``python -m repro bench``,
+see docs/BENCHMARKS.md): the heap holds bare ``(time, sequence, event)``
+tuples (C-level comparisons instead of dataclass ``__lt__``), event
+records carry ``__slots__``, and :meth:`Engine.schedule_batch` amortizes
+fan-out insertions (broadcasts) into a single heap rebuild when that is
+cheaper than pushing one by one.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 
 EventCallback = Callable[[], None]
 
 
-@dataclass(order=True)
 class _ScheduledEvent:
-    time: float
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    """One calendar entry. Heap ordering lives in the queue tuple."""
+
+    __slots__ = ("time", "callback", "cancelled", "label")
+
+    def __init__(self, time: float, callback: EventCallback,
+                 label: str = "") -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
 
 
 class EventHandle:
@@ -56,7 +68,9 @@ class Engine:
     """Deterministic discrete-event scheduler with a virtual clock."""
 
     def __init__(self) -> None:
-        self._queue: list[_ScheduledEvent] = []
+        # heap of (time, sequence, event) — bare tuples compare at C speed,
+        # and the monotone sequence keeps same-time ordering insertion-stable
+        self._queue: List[Tuple[float, int, _ScheduledEvent]] = []
         self._now = 0.0
         self._sequence = 0
         self._running = False
@@ -92,9 +106,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time:.6f} before now={self._now:.6f}"
                 f" (label={label!r})")
-        event = _ScheduledEvent(time, self._sequence, callback, label=label)
+        event = _ScheduledEvent(time, callback, label)
+        heapq.heappush(self._queue, (time, self._sequence, event))
         self._sequence += 1
-        heapq.heappush(self._queue, event)
         return EventHandle(event)
 
     def schedule_after(self, delay: float, callback: EventCallback,
@@ -104,12 +118,49 @@ class Engine:
             raise SimulationError(f"negative delay {delay} (label={label!r})")
         return self.schedule_at(self._now + delay, callback, label)
 
+    def schedule_batch(self, items: Iterable[Tuple[float, EventCallback, str]],
+                       ) -> List[EventHandle]:
+        """Schedule many ``(time, callback, label)`` entries at once.
+
+        Semantically identical to calling :meth:`schedule_at` per item in
+        iteration order (sequence numbers are assigned in that order, so
+        same-time ties break exactly the same way). The win is mechanical:
+        for a large batch landing in a small calendar it is cheaper to
+        extend the list and re-heapify (O(n+k)) than to sift k pushes
+        (O(k log n)) — the broadcast fan-out path hits this constantly.
+        """
+        queue = self._queue
+        now = self._now
+        sequence = self._sequence
+        entries: List[Tuple[float, int, _ScheduledEvent]] = []
+        handles: List[EventHandle] = []
+        for time, callback, label in items:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule event at {time:.6f} before"
+                    f" now={now:.6f} (label={label!r})")
+            event = _ScheduledEvent(time, callback, label)
+            entries.append((time, sequence, event))
+            sequence += 1
+            handles.append(EventHandle(event))
+        self._sequence = sequence
+        k = len(entries)
+        n = len(queue)
+        total = n + k
+        if k > 1 and k * max(1.0, (total).bit_length() - 1) >= total:
+            queue.extend(entries)
+            heapq.heapify(queue)
+        else:
+            for entry in entries:
+                heapq.heappush(queue, entry)
+        return handles
+
     # -- execution ---------------------------------------------------------------
 
     def step(self) -> bool:
         """Execute the next non-cancelled event. Return False if none left."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            _, _, event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
             self._now = event.time
@@ -133,18 +184,20 @@ class Engine:
             raise SimulationError("engine is not reentrant")
         self._running = True
         executed = 0
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                head = self._queue[0]
+            while queue:
+                head_time, _, head = queue[0]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    heappop(queue)
                     continue
-                if until is not None and head.time > until:
+                if until is not None and head_time > until:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                heapq.heappop(self._queue)
-                self._now = head.time
+                heappop(queue)
+                self._now = head_time
                 self._events_executed += 1
                 executed += 1
                 if self.profiler is not None:

@@ -1,0 +1,110 @@
+"""``python -m repro bench`` CLI flows, exercised via ``--replay``.
+
+Replay mode loads a recorded payload instead of running the suite, so
+these tests cover the full record/compare/update-baseline surface in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from repro.bench.schema import build_payload, load_bench, write_bench
+from repro.cli import main
+
+
+def _scenario(wall=1.0, eps=1000.0, events=500):
+    return {
+        "kind": "micro",
+        "params": {},
+        "counted": {"events_executed": events},
+        "timed": {"wall_seconds": wall, "events_per_second": eps,
+                  "wall_per_sim_second": None, "peak_rss_bytes": 1 << 20},
+        "spread": {},
+        "subsystems": {},
+    }
+
+
+def _write(tmp_path, name, date, **scenarios):
+    path = tmp_path / name
+    write_bench(build_payload(scenarios, suite="mini", repeats=1, date=date),
+                path)
+    return path
+
+
+def test_replay_without_compare_is_ok(tmp_path, capsys):
+    current = _write(tmp_path, "current.json", "2026-01-02", s=_scenario())
+    assert main(["bench", "--replay", str(current)]) == 0
+
+
+def test_compare_identical_exits_zero(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", "2026-01-01", s=_scenario())
+    current = _write(tmp_path, "cur.json", "2026-01-02", s=_scenario())
+    assert main(["bench", "--replay", str(current),
+                 "--compare", str(base)]) == 0
+    assert "verdict: ok" in capsys.readouterr().out
+
+
+def test_injected_regression_exits_nonzero(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", "2026-01-01",
+                  s=_scenario(wall=1.0))
+    current = _write(tmp_path, "cur.json", "2026-01-02",
+                     s=_scenario(wall=2.0))
+    assert main(["bench", "--replay", str(current),
+                 "--compare", str(base)]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_threshold_scale_absorbs_borderline_delta(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", "2026-01-01", s=_scenario(wall=1.0))
+    current = _write(tmp_path, "cur.json", "2026-01-02",
+                     s=_scenario(wall=1.3))
+    assert main(["bench", "--replay", str(current),
+                 "--compare", str(base)]) == 1
+    capsys.readouterr()
+    assert main(["bench", "--replay", str(current), "--compare", str(base),
+                 "--threshold-scale", "2"]) == 0
+
+
+def test_strict_counted_flags_behaviour_change(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", "2026-01-01",
+                  s=_scenario(events=500))
+    current = _write(tmp_path, "cur.json", "2026-01-02",
+                     s=_scenario(events=501))
+    assert main(["bench", "--replay", str(current),
+                 "--compare", str(base)]) == 0
+    capsys.readouterr()
+    assert main(["bench", "--replay", str(current), "--compare", str(base),
+                 "--strict-counted"]) == 1
+    assert "counted changed" in capsys.readouterr().out
+
+
+def test_missing_baseline_exits_two(tmp_path, capsys):
+    current = _write(tmp_path, "cur.json", "2026-01-02", s=_scenario())
+    assert main(["bench", "--replay", str(current),
+                 "--compare", str(tmp_path / "nope.json")]) == 2
+
+
+def test_corrupt_replay_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{broken")
+    assert main(["bench", "--replay", str(bad)]) == 2
+
+
+def test_update_baseline_requires_compare(capsys):
+    assert main(["bench", "--update-baseline"]) == 2
+
+
+def test_update_baseline_overwrites_on_success(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", "2026-01-01", s=_scenario())
+    current = _write(tmp_path, "cur.json", "2026-01-02", s=_scenario())
+    assert main(["bench", "--replay", str(current), "--compare", str(base),
+                 "--update-baseline"]) == 0
+    assert load_bench(base)["date"] == "2026-01-02"
+
+
+def test_update_baseline_refuses_on_regression(tmp_path, capsys):
+    base = _write(tmp_path, "base.json", "2026-01-01", s=_scenario(wall=1.0))
+    current = _write(tmp_path, "cur.json", "2026-01-02",
+                     s=_scenario(wall=2.0))
+    assert main(["bench", "--replay", str(current), "--compare", str(base),
+                 "--update-baseline"]) == 1
+    assert load_bench(base)["date"] == "2026-01-01"  # untouched

@@ -1,0 +1,142 @@
+"""Comparison semantics: thresholds, directions, edge cases, verdicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_THRESHOLDS,
+    VERDICT_CHANGED,
+    VERDICT_IMPROVED,
+    VERDICT_OK,
+    VERDICT_REGRESSED,
+    compare_benches,
+    compare_scenario,
+    thresholds_scaled,
+)
+from repro.bench.report import comparison_report, comparison_table
+from repro.bench.schema import build_payload
+
+
+def _scenario(wall=1.0, eps=1000.0, wps=0.01, rss=10_000_000, events=500):
+    return {
+        "kind": "micro",
+        "params": {},
+        "counted": {"events_executed": events},
+        "timed": {"wall_seconds": wall, "events_per_second": eps,
+                  "wall_per_sim_second": wps, "peak_rss_bytes": rss},
+        "spread": {},
+        "subsystems": {},
+    }
+
+
+def _payload(date, **scenarios):
+    return build_payload(scenarios, suite="mini", repeats=1, date=date)
+
+
+def test_within_threshold_is_ok():
+    delta = compare_scenario("s", _scenario(wall=1.0), _scenario(wall=1.1))
+    verdicts = {m.metric: m.verdict for m in delta.metrics}
+    assert verdicts["wall_seconds"] == VERDICT_OK
+    assert not delta.regressed and not delta.improved
+
+
+def test_wall_clock_up_is_regression():
+    delta = compare_scenario("s", _scenario(wall=1.0), _scenario(wall=1.5))
+    verdicts = {m.metric: m.verdict for m in delta.metrics}
+    assert verdicts["wall_seconds"] == VERDICT_REGRESSED
+    assert delta.regressed
+
+
+def test_throughput_up_is_improvement():
+    delta = compare_scenario("s", _scenario(eps=1000.0),
+                             _scenario(eps=1500.0))
+    verdicts = {m.metric: m.verdict for m in delta.metrics}
+    assert verdicts["events_per_second"] == VERDICT_IMPROVED
+    assert delta.improved
+
+
+def test_missing_metric_is_incomparable_not_regressed():
+    current = _scenario()
+    current["timed"]["wall_per_sim_second"] = None
+    delta = compare_scenario("s", _scenario(), current)
+    verdicts = {m.metric: m.verdict for m in delta.metrics}
+    assert verdicts["wall_per_sim_second"] == VERDICT_OK
+
+
+def test_counted_change_is_flagged():
+    delta = compare_scenario("s", _scenario(events=500),
+                             _scenario(events=501))
+    assert delta.counted_verdict == VERDICT_CHANGED
+    assert delta.counted_changes == ("events_executed",)
+
+
+def test_zero_delta_everywhere_is_ok():
+    comparison = compare_benches(_payload("2026-01-01", s=_scenario()),
+                                 _payload("2026-01-02", s=_scenario()))
+    assert comparison.verdict() == VERDICT_OK
+    assert comparison.exit_code() == 0
+
+
+def test_new_and_removed_scenarios_reported_not_failed():
+    baseline = _payload("2026-01-01", old=_scenario(), both=_scenario())
+    current = _payload("2026-01-02", new=_scenario(), both=_scenario())
+    comparison = compare_benches(baseline, current)
+    assert comparison.new_scenarios == ["new"]
+    assert comparison.removed_scenarios == ["old"]
+    assert comparison.exit_code() == 0
+    report = comparison_report(comparison)
+    assert "new scenarios" in report and "removed scenarios" in report
+
+
+def test_regression_beats_improvement_in_overall_verdict():
+    baseline = _payload("2026-01-01", a=_scenario(wall=1.0),
+                        b=_scenario(eps=1000.0))
+    current = _payload("2026-01-02", a=_scenario(wall=2.0),
+                       b=_scenario(eps=2000.0))
+    comparison = compare_benches(baseline, current)
+    assert comparison.verdict() == VERDICT_REGRESSED
+    assert comparison.exit_code() == 1
+
+
+def test_strict_counted_fails_the_gate():
+    baseline = _payload("2026-01-01", s=_scenario(events=500))
+    current = _payload("2026-01-02", s=_scenario(events=999))
+    comparison = compare_benches(baseline, current)
+    assert comparison.exit_code(strict_counted=False) == 0
+    assert comparison.verdict(strict_counted=True) == VERDICT_CHANGED
+    assert comparison.exit_code(strict_counted=True) == 1
+
+
+def test_thresholds_scaled():
+    doubled = thresholds_scaled(2.0)
+    for metric, (threshold, direction) in DEFAULT_THRESHOLDS.items():
+        assert doubled[metric] == (threshold * 2.0, direction)
+    with pytest.raises(ValueError):
+        thresholds_scaled(0.0)
+
+
+def test_scaled_thresholds_absorb_borderline_regression():
+    baseline = _payload("2026-01-01", s=_scenario(wall=1.0))
+    current = _payload("2026-01-02", s=_scenario(wall=1.3))
+    tight = compare_benches(baseline, current)
+    loose = compare_benches(baseline, current,
+                            thresholds=thresholds_scaled(2.0))
+    assert tight.verdict() == VERDICT_REGRESSED
+    assert loose.verdict() == VERDICT_OK
+
+
+def test_comparison_table_marks_verdicts():
+    baseline = _payload("2026-01-01", s=_scenario(wall=1.0))
+    current = _payload("2026-01-02", s=_scenario(wall=2.0))
+    table = comparison_table(compare_benches(baseline, current))
+    assert "REGRESSED" in table
+    assert "| scenario | metric |" in table
+
+
+def test_only_interesting_hides_noise_rows():
+    baseline = _payload("2026-01-01", s=_scenario())
+    current = _payload("2026-01-02", s=_scenario())
+    table = comparison_table(compare_benches(baseline, current),
+                             only_interesting=True)
+    assert "wall_seconds" not in table

@@ -1,0 +1,109 @@
+"""Runner behaviour: determinism checking, aggregation, inline suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import (
+    BenchDeterminismError,
+    aggregate_scenario,
+    run_scenario_once,
+    run_suite,
+)
+from repro.bench.schema import validate_payload
+from repro.bench.suite import SUITES, Scenario
+
+# a calendar micro small enough for unit tests (same body, tiny knobs)
+TINY_CALENDAR = Scenario(
+    name="micro-engine-calendar",
+    kind="micro",
+    params={"micro": "engine-calendar", "chains": 4, "depth": 25})
+
+TINY_BROADCAST = Scenario(
+    name="micro-engine-broadcast",
+    kind="micro",
+    params={"micro": "engine-broadcast", "endpoints": 6, "rounds": 10})
+
+
+def test_run_scenario_once_records_all_metrics():
+    outcome = run_scenario_once(TINY_CALENDAR)
+    assert outcome["wall_seconds"] > 0
+    assert outcome["events_executed"] == outcome["counted"]["events_executed"]
+    assert outcome["events_per_second"] > 0
+    assert outcome["peak_rss_bytes"] > 0
+    assert outcome["subsystems"] is None
+
+
+def test_repeats_are_deterministic():
+    first = run_scenario_once(TINY_CALENDAR)
+    second = run_scenario_once(TINY_CALENDAR)
+    profiled = run_scenario_once(TINY_CALENDAR, profile=True)
+    assert first["counted"] == second["counted"] == profiled["counted"]
+
+
+def test_profiled_pass_attributes_subsystems():
+    outcome = run_scenario_once(TINY_BROADCAST, profile=True)
+    shares = outcome["subsystems"]
+    assert shares and abs(sum(shares.values()) - 1.0) < 1e-9
+    assert "network" in shares  # deliveries use the default network label
+
+
+def test_aggregate_takes_medians_and_spread():
+    repeats = [run_scenario_once(TINY_CALENDAR) for _ in range(3)]
+    entry = aggregate_scenario(TINY_CALENDAR, repeats)
+    walls = sorted(r["wall_seconds"] for r in repeats)
+    # entries are rounded to 6 decimal places on the way into the file
+    assert entry["timed"]["wall_seconds"] == pytest.approx(walls[1], abs=1e-6)
+    lo, hi = entry["spread"]["wall_seconds"]
+    assert lo <= entry["timed"]["wall_seconds"] <= hi
+    assert isinstance(entry["timed"]["peak_rss_bytes"], int)
+    assert entry["counted"] == repeats[0]["counted"]
+
+
+def test_counted_divergence_raises():
+    repeats = [run_scenario_once(TINY_CALENDAR) for _ in range(2)]
+    repeats[1]["counted"]["events_executed"] += 1
+    with pytest.raises(BenchDeterminismError, match="diverged"):
+        aggregate_scenario(TINY_CALENDAR, repeats)
+
+
+def test_attribution_pass_included_in_determinism_check():
+    repeats = [run_scenario_once(TINY_CALENDAR)]
+    attribution = run_scenario_once(TINY_CALENDAR, profile=True)
+    attribution["counted"]["events_executed"] += 1
+    with pytest.raises(BenchDeterminismError):
+        aggregate_scenario(TINY_CALENDAR, repeats, attribution)
+
+
+def test_run_suite_inline_payload_is_valid(monkeypatch):
+    monkeypatch.setitem(SUITES, "tiny", (TINY_CALENDAR, TINY_BROADCAST))
+    payload = run_suite("tiny", repeats=2, workers=1, isolate=False,
+                        label="unit test")
+    validate_payload(payload)
+    assert payload["suite"] == "tiny"
+    assert payload["label"] == "unit test"
+    assert set(payload["scenarios"]) == {TINY_CALENDAR.name,
+                                         TINY_BROADCAST.name}
+    for entry in payload["scenarios"].values():
+        assert entry["subsystems"]  # attribution pass ran
+
+
+@pytest.mark.slow
+def test_run_suite_isolated_counted_identical_across_workers(monkeypatch):
+    # the spawned children resolve scenarios by name from the pristine
+    # pinned SUITES, so the tiny suite must reference a real scenario
+    from repro.bench.suite import scenario_by_name
+
+    broadcast = scenario_by_name("micro-engine-broadcast")
+    monkeypatch.setitem(SUITES, "tiny-real", (broadcast,))
+    pooled = run_suite("tiny-real", repeats=2, workers=2, isolate=True)
+    inline = run_suite("tiny-real", repeats=2, workers=1, isolate=False)
+    assert (pooled["scenarios"][broadcast.name]["counted"]
+            == inline["scenarios"][broadcast.name]["counted"])
+
+
+def test_run_suite_rejects_zero_repeats():
+    from repro.common.errors import SimulationError
+
+    with pytest.raises(SimulationError, match="repeats"):
+        run_suite("mini", repeats=0, isolate=False)

@@ -1,0 +1,113 @@
+"""Bench file format: round-trip, validation, byte stability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.schema import (
+    DATE_ENV,
+    SCHEMA_TAG,
+    SCHEMA_VERSION,
+    BenchFormatError,
+    bench_date,
+    bench_filename,
+    build_payload,
+    dump_bench,
+    latest_bench_file,
+    load_bench,
+    validate_payload,
+    write_bench,
+)
+
+
+def _scenario(events: int = 10) -> dict:
+    return {
+        "kind": "micro",
+        "params": {"micro": "x"},
+        "counted": {"events_executed": events},
+        "timed": {"wall_seconds": 0.5, "events_per_second": 20.0,
+                  "wall_per_sim_second": None, "peak_rss_bytes": 1024},
+        "spread": {},
+        "subsystems": {},
+    }
+
+
+def _payload() -> dict:
+    return build_payload({"micro-x": _scenario()}, suite="mini", repeats=2,
+                         date="2026-01-01")
+
+
+def test_date_env_override(monkeypatch):
+    monkeypatch.setenv(DATE_ENV, "2031-12-31")
+    assert bench_date() == "2031-12-31"
+    assert bench_filename() == "BENCH_2031-12-31.json"
+
+
+def test_payload_roundtrip(tmp_path):
+    payload = _payload()
+    path = write_bench(payload, tmp_path / "BENCH_2026-01-01.json")
+    assert load_bench(path) == payload
+
+
+def test_dump_is_byte_stable():
+    assert dump_bench(_payload()) == dump_bench(_payload())
+    assert dump_bench(_payload()).endswith("\n")
+
+
+def test_schema_tag_recorded():
+    payload = _payload()
+    assert payload["schema"] == SCHEMA_TAG
+    assert payload["platform"]["rss_units"] == "bytes"
+
+
+def test_missing_top_level_key_rejected():
+    payload = _payload()
+    del payload["scenarios"]
+    with pytest.raises(BenchFormatError, match="scenarios"):
+        validate_payload(payload)
+
+
+def test_newer_schema_rejected():
+    payload = _payload()
+    payload["schema"] = f"repro-bench/{SCHEMA_VERSION + 1}"
+    with pytest.raises(BenchFormatError, match="newer"):
+        validate_payload(payload)
+
+
+def test_foreign_schema_rejected():
+    payload = _payload()
+    payload["schema"] = "someone-elses/1"
+    with pytest.raises(BenchFormatError, match="not a repro-bench"):
+        validate_payload(payload)
+
+
+def test_non_integer_counted_rejected():
+    payload = _payload()
+    payload["scenarios"]["micro-x"]["counted"]["events_executed"] = 10.5
+    with pytest.raises(BenchFormatError, match="integer"):
+        validate_payload(payload)
+
+
+def test_load_rejects_invalid_json(tmp_path):
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(BenchFormatError, match="not valid JSON"):
+        load_bench(bad)
+
+
+def test_load_rejects_non_object(tmp_path):
+    bad = tmp_path / "BENCH_list.json"
+    bad.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(BenchFormatError, match="top level"):
+        load_bench(bad)
+
+
+def test_latest_bench_file_orders_by_date(tmp_path):
+    assert latest_bench_file(tmp_path) is None
+    for date in ("2026-03-01", "2026-01-15", "2026-02-01"):
+        write_bench(build_payload({}, suite="mini", repeats=1, date=date),
+                    tmp_path / bench_filename(date))
+    latest = latest_bench_file(tmp_path)
+    assert latest is not None and latest.name == "BENCH_2026-03-01.json"

@@ -1,0 +1,70 @@
+"""The suite is pinned: names, kinds and knobs are part of the contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suite import (
+    MICRO_BODIES,
+    SUITE_CHAINS,
+    SUITES,
+    Scenario,
+    get_suite,
+    scenario_by_name,
+)
+from repro.common.errors import ConfigurationError
+
+
+def test_full_suite_covers_every_chain_at_two_sizes():
+    names = {s.name for s in SUITES["full"]}
+    for chain in SUITE_CHAINS:
+        assert f"chain-{chain}-small" in names
+        assert f"chain-{chain}-medium" in names
+
+
+def test_full_suite_includes_all_micros():
+    micro_names = {s.params["micro"] for s in SUITES["full"]
+                   if s.kind == "micro"}
+    assert micro_names == set(MICRO_BODIES)
+
+
+def test_mini_suite_is_a_subset_of_full():
+    full = {s.name: s for s in SUITES["full"]}
+    for scenario in SUITES["mini"]:
+        assert scenario.name in full
+        assert full[scenario.name].params == scenario.params
+
+
+def test_chain_cell_params_are_pinned():
+    cell = scenario_by_name("chain-quorum-small")
+    assert cell.kind == "chain"
+    assert cell.params["configuration"] == "testnet"
+    assert cell.params["seed"] == 1
+    assert cell.params["rate_tps"] == 500.0
+    assert cell.params["duration_s"] == 60.0
+
+
+def test_scenario_rejects_bad_kind():
+    with pytest.raises(ConfigurationError):
+        Scenario(name="x", kind="macro")
+
+
+def test_unknown_suite_and_scenario_raise():
+    with pytest.raises(ConfigurationError):
+        get_suite("huge")
+    with pytest.raises(ConfigurationError):
+        scenario_by_name("chain-bitcoin-small")
+
+
+def test_describe_sorts_params():
+    cell = scenario_by_name("chain-solana-medium")
+    assert list(cell.describe()) == sorted(cell.params)
+
+
+def test_micro_bodies_return_counted_ints():
+    scenario = scenario_by_name("micro-engine-calendar")
+    small = dict(scenario.params, chains=5, depth=20)
+    engine, counted = MICRO_BODIES["engine-calendar"](small, None)
+    assert engine.events_executed == counted["events_executed"]
+    assert all(isinstance(v, int) for v in counted.values())
+    assert counted["events_executed"] > 0
