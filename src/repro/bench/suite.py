@@ -76,6 +76,8 @@ MICROS: Tuple[Scenario, ...] = (
     _micro("engine-broadcast", endpoints=40, rounds=600),
     _micro("mempool-churn", transactions=40_000, capacity=5_000,
            batch=500),
+    _micro("client-emission", chain="ethereum", rate_tps=2_000.0,
+           duration_s=15.0, accounts=2_000, scale=1.0, seed=1),
 )
 
 _SMALL = [_chain_cell(chain, "small", rate=500.0, duration=60.0, scale=0.5)
@@ -222,9 +224,68 @@ def _run_mempool_churn(params: Mapping[str, Any],
     }
 
 
+def _run_client_emission(params: Mapping[str, Any],
+                         profiler: Optional[Any]
+                         ) -> Tuple[Any, Dict[str, int]]:
+    """The Secondary emission path in isolation: encode + sign + trigger.
+
+    A real chain runtime (Ethereum's params) receives the load, but
+    block production is held off (``_producing`` pinned) and the pool is
+    unbounded, so the measurement is pure client-side work: the tick
+    loop, account round-robin, transaction construction, fee-less
+    signing, and admission — the ``clients`` subsystem the chain cells
+    attribute their wall-clock to, without consensus noise.
+    """
+    from dataclasses import replace
+
+    from repro.blockchains.base import BlockchainNetwork, ExperimentScale
+    from repro.blockchains.registry import chain_params
+    from repro.chain.mempool import MempoolPolicy
+    from repro.chain.transaction import reset_tx_counter
+    from repro.core.interface import SimConnector
+    from repro.core.secondary import Secondary
+    from repro.core.spec import Behavior, LoadSchedule, TransferSpec, AccountSample
+    from repro.sim.deployment import get_configuration
+    from repro.sim.engine import Engine
+
+    reset_tx_counter()
+    engine = Engine()
+    engine.profiler = profiler
+    deployment = get_configuration("testnet")
+    chain = replace(chain_params(str(params["chain"]), deployment),
+                    mempool_policy=MempoolPolicy(capacity=None),
+                    retry_policy=None)
+    network = BlockchainNetwork(
+        chain, deployment, engine,
+        scale=ExperimentScale(float(params["scale"])),
+        seed=int(params["seed"]))
+    network._producing = True   # hold consensus off: emission only
+    network.create_accounts(int(params["accounts"]))
+    connector = SimConnector(network)
+    endpoint = network.endpoints[0]
+    client = connector.create_client("bench-client", endpoint.region,
+                                     (endpoint.name,))
+    secondary = Secondary("secondary-bench-0", endpoint.region, engine,
+                          connector, network.scale)
+    sample = AccountSample(int(params["accounts"]))
+    schedule = LoadSchedule.constant(float(params["rate_tps"]),
+                                     float(params["duration_s"]))
+    secondary.assign([client], Behavior(TransferSpec(sample), schedule))
+    secondary.start()
+    engine.run()
+    emitted = len(secondary.sent)
+    return engine, {
+        "events_executed": engine.events_executed,
+        "transactions_emitted": emitted,
+        "accepted": emitted - secondary.rejected,
+        "pooled": len(network.mempool),
+    }
+
+
 MICRO_BODIES: Dict[str, Callable[[Mapping[str, Any], Optional[Any]],
                                  Tuple[Any, Dict[str, int]]]] = {
     "engine-calendar": _run_engine_calendar,
     "engine-broadcast": _run_engine_broadcast,
     "mempool-churn": _run_mempool_churn,
+    "client-emission": _run_client_emission,
 }

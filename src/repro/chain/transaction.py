@@ -10,6 +10,7 @@ signature produced by the sender's scheme.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
@@ -86,10 +87,16 @@ class Transaction:
 
     @property
     def tx_hash(self) -> str:
-        """Deterministic content hash (excludes benchmark bookkeeping)."""
-        return digest("tx", self.uid, self.sender, self.kind.value,
-                      self.sequence, self.recipient, self.contract,
-                      self.function, self.args, self.amount)
+        """Deterministic content hash (excludes benchmark bookkeeping).
+
+        Same single-update construction as :meth:`signing_payload`;
+        byte-identical to the generic ``digest(...)`` form.
+        """
+        return hashlib.sha256(
+            f"tx\x00{self.uid}\x00{self.sender}\x00{self.kind.value}\x00"
+            f"{self.sequence}\x00{self.recipient}\x00{self.contract}\x00"
+            f"{self.function}\x00{self.args}\x00"
+            f"{self.amount}\x00".encode()).hexdigest()
 
     @property
     def size(self) -> int:
@@ -104,11 +111,20 @@ class Transaction:
         return self.kind is TxKind.INVOKE
 
     def signing_payload(self) -> str:
-        """The string covered by the sender's signature."""
-        return digest("payload", self.sender, self.kind.value, self.sequence,
-                      self.recipient, self.contract, self.function, self.args,
-                      self.amount, self.fee_per_gas, self.gas_limit,
-                      self.recent_block_hash)
+        """The string covered by the sender's signature.
+
+        Hot path: one f-string and one hash call. Byte-identical to the
+        generic ``digest("payload", sender, kind, ...)`` form (tested in
+        tests/chain/test_transaction_fastpath.py) — ``digest`` hashes
+        ``str(part) + "\\0"`` per part, and UTF-8 encoding distributes
+        over concatenation.
+        """
+        return hashlib.sha256(
+            f"payload\x00{self.sender}\x00{self.kind.value}\x00"
+            f"{self.sequence}\x00{self.recipient}\x00{self.contract}\x00"
+            f"{self.function}\x00{self.args}\x00{self.amount}\x00"
+            f"{self.fee_per_gas}\x00{self.gas_limit}\x00"
+            f"{self.recent_block_hash}\x00".encode()).hexdigest()
 
     def describe(self) -> Dict[str, Any]:
         """Loggable summary dictionary."""

@@ -20,7 +20,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.blockchains.base import BlockchainNetwork
 from repro.chain.account import Account
-from repro.chain.transaction import Transaction, invoke, transfer
+from repro.chain.transaction import Transaction, TxKind, invoke, transfer
 from repro.common.errors import ConfigurationError, SpecError
 from repro.contracts import CONTRACT_FACTORIES, estimated_call_gas
 from repro.core.spec import (
@@ -35,7 +35,7 @@ TRANSFER_GAS_LIMIT = 21_000
 DEFAULT_INVOKE_GAS_LIMIT = 5_000_000
 
 
-@dataclass
+@dataclass(slots=True)
 class Client:
     """A DIABLO client: one explicit worker thread on a Secondary (§4)."""
 
@@ -65,6 +65,27 @@ class BlockchainConnector:
     def trigger(self, client: Client, encoded: Transaction) -> bool:
         raise NotImplementedError
 
+    # -- batched emission ----------------------------------------------------------
+    #
+    # One Secondary tick emits `count` interactions at the same virtual
+    # instant; the batch forms let a connector amortize per-transaction
+    # plumbing. The defaults delegate to encode()/trigger() so any
+    # connector is batch-capable, and the contract is that a batch is
+    # observably identical to `count` sequential encode/trigger pairs.
+
+    def encode_batch(self, interaction: Interaction, resource: Any,
+                     t: float, count: int) -> List[Transaction]:
+        return [self.encode(interaction, resource, t) for _ in range(count)]
+
+    def trigger_batch(self, clients: Sequence[Client],
+                      encoded: Sequence[Transaction]) -> int:
+        """Trigger one encoded interaction per client; return #accepted."""
+        accepted = 0
+        for client, tx in zip(clients, encoded):
+            if self.trigger(client, tx):
+                accepted += 1
+        return accepted
+
 
 class SimConnector(BlockchainConnector):
     """Connector for the simulated blockchains."""
@@ -73,6 +94,13 @@ class SimConnector(BlockchainConnector):
         self.network = network
         self._account_cursor = 0
         self._gas_estimates: dict[Tuple[str, str], int] = {}
+        # hot-path caches: the materialized account ring (the registry is
+        # append-only, so a length check is a complete invalidation
+        # signal), one precomputed signer per account, and the DApp-key ->
+        # deployed-contract-name mapping
+        self._ring: List[Account] = []
+        self._signers: dict[str, Any] = {}
+        self._contract_names: dict[str, str] = {}
 
     # -- clients -----------------------------------------------------------------
 
@@ -106,17 +134,39 @@ class SimConnector(BlockchainConnector):
 
     # -- encoding ----------------------------------------------------------------------
 
-    def _next_account(self) -> Account:
+    def _account_ring(self) -> List[Account]:
+        """The provisioned accounts, materialized once for O(1) indexing."""
         accounts = self.network.accounts
-        if len(accounts) == 0:
+        n = len(accounts)
+        if n == 0:
             raise ConfigurationError("no accounts provisioned")
-        account = list(accounts)[self._account_cursor % len(accounts)]
+        ring = self._ring
+        if len(ring) != n:
+            ring = self._ring = list(accounts)
+        return ring
+
+    def _next_account(self) -> Account:
+        ring = self._account_ring()
+        account = ring[self._account_cursor % len(ring)]
         self._account_cursor += 1
         return account
 
+    def _signer_for(self, account: Account) -> Any:
+        """A cached per-account fast signer (see crypto.signing)."""
+        signer = self._signers.get(account.address)
+        if signer is None:
+            scheme = self.network.params.signature_scheme
+            signer = self._signers[account.address] = scheme.signer(
+                account.private_key)
+        return signer
+
     def _contract_name(self, spec_name: str) -> str:
         """Map a DApp key ('dota') to its deployed contract name."""
-        return CONTRACT_FACTORIES[spec_name]().name
+        name = self._contract_names.get(spec_name)
+        if name is None:
+            name = self._contract_names[spec_name] = \
+                CONTRACT_FACTORIES[spec_name]().name
+        return name
 
     def _invoke_gas_limit(self, contract: str, function: str,
                           sample_tx: Transaction) -> int:
@@ -170,14 +220,97 @@ class SimConnector(BlockchainConnector):
             # times headroom plus default tip); the signature below covers
             # the price fields, like a real signed envelope
             tx.fee_per_gas, tx.tip = market.suggest()
-        scheme = self.network.params.signature_scheme
-        tx.signature = scheme.sign(account.private_key, tx.signing_payload())
+        tx.signature = self._signer_for(account)(tx.signing_payload())
         if self.network.params.tx_expiry is not None:
             tx.recent_block_hash = self.network.ledger.head.block_hash
         return tx
+
+    def encode_batch(self, interaction: Interaction, resource: Any,
+                     t: float, count: int) -> List[Transaction]:
+        """Encode one tick's worth of interactions in a single pass.
+
+        Byte-identical to ``count`` sequential :meth:`encode` calls
+        (tested per chain in tests/core/test_emission_fastpath.py): the
+        account cursor advances arithmetically over the materialized
+        ring, per-transaction state (account sequence numbers, tx uids)
+        is consumed in the same order, and the invariant lookups —
+        fee-market suggestion callable, signature scheme, ledger head —
+        are hoisted out of the loop. Hoisting the head hash is safe
+        because the whole batch runs inside one engine callback and the
+        head only moves in block-append events.
+        """
+        if count <= 0:
+            return []
+        network = self.network
+        ring = self._account_ring()
+        n = len(ring)
+        cursor = self._account_cursor
+        signers = self._signers
+        signer_for = self._signer_for
+        market = network.fee_market
+        suggest = market.suggest if market is not None else None
+        expiry = network.params.tx_expiry is not None
+        head_hash = network.ledger.head.block_hash if expiry else None
+        txs: List[Transaction] = []
+        append = txs.append
+        if isinstance(interaction, TransferSpec):
+            amount = interaction.amount
+            for _ in range(count):
+                account = ring[cursor % n]
+                recipient = ring[(cursor + 1) % n]
+                cursor += 2
+                tx = Transaction(sender=account.address, kind=TxKind.TRANSFER,
+                                 amount=amount, recipient=recipient.address,
+                                 sequence=account.next_sequence(),
+                                 gas_limit=TRANSFER_GAS_LIMIT)
+                if suggest is not None:
+                    tx.fee_per_gas, tx.tip = suggest()
+                signer = signers.get(account.address)
+                if signer is None:
+                    signer = signer_for(account)
+                tx.signature = signer(tx.signing_payload())
+                if expiry:
+                    tx.recent_block_hash = head_hash
+                append(tx)
+        elif isinstance(interaction, InvokeSpec):
+            contract_name = self._contract_name(interaction.contract.name)
+            function = interaction.function
+            args = tuple(interaction.args)
+            for _ in range(count):
+                account = ring[cursor % n]
+                cursor += 1
+                tx = Transaction(sender=account.address, kind=TxKind.INVOKE,
+                                 contract=contract_name, function=function,
+                                 args=args, sequence=account.next_sequence(),
+                                 gas_limit=DEFAULT_INVOKE_GAS_LIMIT)
+                tx.gas_limit = self._invoke_gas_limit(
+                    contract_name, function, tx)
+                if suggest is not None:
+                    tx.fee_per_gas, tx.tip = suggest()
+                signer = signers.get(account.address)
+                if signer is None:
+                    signer = signer_for(account)
+                tx.signature = signer(tx.signing_payload())
+                if expiry:
+                    tx.recent_block_hash = head_hash
+                append(tx)
+        else:
+            raise SpecError(f"unknown interaction {interaction!r}")
+        self._account_cursor = cursor
+        return txs
 
     # -- triggering ----------------------------------------------------------------------
 
     def trigger(self, client: Client, encoded: Transaction) -> bool:
         """Send the encoded interaction to the client's blockchain node."""
         return self.network.submit(encoded).accepted
+
+    def trigger_batch(self, clients: Sequence[Client],
+                      encoded: Sequence[Transaction]) -> int:
+        """Submit a tick's batch through the network's batched fast lane.
+
+        The simulated network ignores which client submits (clients share
+        their region's endpoints), so the batch collapses to one
+        :meth:`BlockchainNetwork.submit_batch` call.
+        """
+        return self.network.submit_batch(encoded)

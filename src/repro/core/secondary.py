@@ -25,8 +25,15 @@ from repro.sim.engine import Engine
 
 DEFAULT_TICK = 0.1
 
+#: default for :class:`Secondary`'s batched emission path. The fast path
+#: emits each tick's transactions through ``encode_batch``/``trigger_batch``
+#: and is byte-identical to the per-transaction reference path (tested in
+#: tests/core/test_emission_fastpath.py); the toggle exists so those tests
+#: can run both paths against each other.
+USE_FAST_PATH = True
 
-@dataclass
+
+@dataclass(slots=True)
 class Assignment:
     """A behaviour executed by a set of clients on one Secondary."""
 
@@ -39,13 +46,15 @@ class Secondary:
 
     def __init__(self, name: str, region: str, engine: Engine,
                  connector: BlockchainConnector,
-                 scale: ExperimentScale, tick: float = DEFAULT_TICK) -> None:
+                 scale: ExperimentScale, tick: float = DEFAULT_TICK,
+                 fast_path: Optional[bool] = None) -> None:
         self.name = name
         self.region = region
         self.engine = engine
         self.connector = connector
         self.scale = scale
         self.tick = tick
+        self.fast_path = USE_FAST_PATH if fast_path is None else fast_path
         self.assignments: List[Assignment] = []
         self.sent: List[Tuple[Transaction, str]] = []  # (tx, client name)
         self.rejected = 0
@@ -70,6 +79,51 @@ class Secondary:
         behavior = assignment.behavior
         duration = behavior.load.duration
         state = {"t": 0.0, "carry": 0.0, "cursor": 0}
+        emit_label = f"{self.name}-emit"
+        # hoisted per-assignment invariants (the fast path reads these in
+        # the tick loop; the reference path keeps its original body)
+        clients = assignment.clients
+        nclients = len(clients)
+        interaction = behavior.interaction
+        rate_at = behavior.load.rate_at
+        connector = self.connector
+        engine = self.engine
+        tick = self.tick
+        late_after = 5 * tick
+        rate_scale = self.scale.rate
+
+        def emit_fast() -> None:
+            """One tick: one encode_batch + one trigger_batch call.
+
+            Byte-identical to :func:`emit` (the per-transaction
+            reference): the carry accumulator and the account/client
+            round-robin cursors advance arithmetically through exactly
+            the same sequence, and the connector's batch forms are
+            contractually equal to ``count`` encode/trigger pairs.
+            """
+            t = state["t"]
+            if t >= duration:
+                return
+            # per-client rate times client count, scaled for the experiment
+            state["carry"] += rate_scale(rate_at(t) * nclients) * tick
+            count = int(state["carry"])
+            state["carry"] -= count
+            now = engine.now
+            if now - t > late_after:
+                self.late_warnings += 1
+            if count:
+                cursor = state["cursor"]
+                state["cursor"] = cursor + count
+                batch_clients = [clients[(cursor + i) % nclients]
+                                 for i in range(count)]
+                txs = connector.encode_batch(interaction, None, now, count)
+                accepted = connector.trigger_batch(batch_clients, txs)
+                self.sent.extend(
+                    zip(txs, (c.name for c in batch_clients)))
+                self.rejected += count - accepted
+            state["t"] = t + tick
+            if state["t"] < duration:
+                engine.schedule_after(tick, emit_fast, label=emit_label)
 
         def emit() -> None:
             t = state["t"]
@@ -100,6 +154,7 @@ class Secondary:
             state["t"] = t + self.tick
             if state["t"] < duration:
                 self.engine.schedule_after(self.tick, emit,
-                                           label=f"{self.name}-emit")
+                                           label=emit_label)
 
-        self.engine.schedule_after(0.0, emit, label=f"{self.name}-start")
+        tick_body = emit_fast if self.fast_path else emit
+        self.engine.schedule_after(0.0, tick_body, label=f"{self.name}-start")

@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tupl
 import numpy as np
 
 from repro.common.errors import NetworkError
-from repro.common.rng import RngFactory
+from repro.common.rng import BlockSampler, RngFactory
 from repro.common.units import gbps, mbps, ms
 from repro.obs.metrics import MetricsNamespace, MetricsRegistry
 from repro.sim.engine import Engine
@@ -144,44 +144,63 @@ INTRA_REGION_RTT = ms(1.0)
 INTRA_REGION_BANDWIDTH = gbps(10.0)
 
 
+_REGION_INDEX: Dict[str, int] = {region: i for i, region in enumerate(REGIONS)}
+
+
 def _region_index() -> Dict[str, int]:
-    return {region: i for i, region in enumerate(REGIONS)}
+    return _REGION_INDEX
+
+
+def _build_rtt_matrix() -> np.ndarray:
+    matrix = np.full((len(REGIONS), len(REGIONS)), INTRA_REGION_RTT)
+    for (a, b), value in _RTT_MS_LOWER.items():
+        matrix[_REGION_INDEX[a], _REGION_INDEX[b]] = ms(value)
+        matrix[_REGION_INDEX[b], _REGION_INDEX[a]] = ms(value)
+    return matrix
+
+
+def _build_bandwidth_matrix() -> np.ndarray:
+    matrix = np.full((len(REGIONS), len(REGIONS)), INTRA_REGION_BANDWIDTH)
+    for (a, b), value in _BW_MBPS_UPPER.items():
+        matrix[_REGION_INDEX[a], _REGION_INDEX[b]] = mbps(value)
+        matrix[_REGION_INDEX[b], _REGION_INDEX[a]] = mbps(value)
+    return matrix
+
+
+# The topology is static, so the matrices are built once at import time.
+# Public accessors hand out copies (callers are free to mutate for
+# what-if experiments); hot paths index the exact-Python-float views
+# below, which avoid a numpy-scalar box-and-convert per message.
+_RTT_MATRIX = _build_rtt_matrix()
+_BW_MATRIX = _build_bandwidth_matrix()
+_HALF_RTT: List[List[float]] = (_RTT_MATRIX / 2.0).tolist()
+_BANDWIDTH: List[List[float]] = _BW_MATRIX.tolist()
 
 
 def rtt_matrix() -> np.ndarray:
     """Symmetric matrix of RTTs in seconds, intra-region on the diagonal."""
-    index = _region_index()
-    matrix = np.full((len(REGIONS), len(REGIONS)), INTRA_REGION_RTT)
-    for (a, b), value in _RTT_MS_LOWER.items():
-        matrix[index[a], index[b]] = ms(value)
-        matrix[index[b], index[a]] = ms(value)
-    return matrix
+    return _RTT_MATRIX.copy()
 
 
 def bandwidth_matrix() -> np.ndarray:
     """Symmetric matrix of bandwidths in bytes/s, intra-region diagonal."""
-    index = _region_index()
-    matrix = np.full((len(REGIONS), len(REGIONS)), INTRA_REGION_BANDWIDTH)
-    for (a, b), value in _BW_MBPS_UPPER.items():
-        matrix[index[a], index[b]] = mbps(value)
-        matrix[index[b], index[a]] = mbps(value)
-    return matrix
+    return _BW_MATRIX.copy()
 
 
 def rtt_between(a: str, b: str) -> float:
     """RTT in seconds between two regions (1 ms within a region)."""
-    index = _region_index()
+    index = _REGION_INDEX
     if a not in index or b not in index:
         raise NetworkError(f"unknown region in pair ({a!r}, {b!r})")
-    return float(rtt_matrix()[index[a], index[b]])
+    return 2.0 * _HALF_RTT[index[a]][index[b]]
 
 
 def bandwidth_between(a: str, b: str) -> float:
     """Bandwidth in bytes/s between two regions."""
-    index = _region_index()
+    index = _REGION_INDEX
     if a not in index or b not in index:
         raise NetworkError(f"unknown region in pair ({a!r}, {b!r})")
-    return float(bandwidth_matrix()[index[a], index[b]])
+    return _BANDWIDTH[index[a]][index[b]]
 
 
 @dataclass(frozen=True)
@@ -237,10 +256,22 @@ class Network:
         self._rng = factory.stream("network", "jitter")
         self._fault_rng = factory.stream("network", "fault-drops")
         self._jitter_cv = jitter_cv
+        # block-drawn samplers over the two named streams (byte-identical
+        # to scalar draws — see BlockSampler); each stream is owned by
+        # exactly one sampler, so draw order matches the scalar path
+        if jitter_cv > 0:
+            self._jitter_sampler = BlockSampler(
+                self._rng, "lognormal", -jitter_cv * jitter_cv / 2, jitter_cv)
+        else:
+            self._jitter_sampler = None
+        self._fault_sampler = BlockSampler(self._fault_rng, "random")
         self._model_bandwidth = model_bandwidth
         self._index = _region_index()
         self._rtt = rtt_matrix()
         self._bw = bandwidth_matrix()
+        # hot-path views: exact Python floats, no numpy scalar boxing
+        self._half_rtt = _HALF_RTT
+        self._bandwidth = _BANDWIDTH
         self._pipes: Dict[Tuple[int, int], _LinkPipe] = {}
         self.injector: Optional["FaultInjector"] = None
         self._metrics = (metrics if metrics is not None
@@ -279,22 +310,20 @@ class Network:
 
     def one_way_delay(self, src_region: str, dst_region: str) -> float:
         """Base propagation delay (RTT/2) between two regions, no jitter."""
-        i, j = self._index[src_region], self._index[dst_region]
-        return float(self._rtt[i, j]) / 2.0
+        return self._half_rtt[self._index[src_region]][self._index[dst_region]]
 
     def _pipe(self, i: int, j: int) -> _LinkPipe:
         pipe = self._pipes.get((i, j))
         if pipe is None:
-            pipe = _LinkPipe(float(self._bw[i, j]))
+            pipe = _LinkPipe(self._bandwidth[i][j])
             self._pipes[(i, j)] = pipe
         return pipe
 
     def _jitter(self, base: float) -> float:
-        if self._jitter_cv <= 0:
+        if self._jitter_sampler is None:
             return 0.0
-        sigma = self._jitter_cv
         # lognormal with mean ~1, scaled to a fraction of the base delay
-        factor = float(self._rng.lognormal(mean=-sigma * sigma / 2, sigma=sigma))
+        factor = self._jitter_sampler.next()
         return base * (factor - 1.0) if factor > 1.0 else 0.0
 
     # -- sending ---------------------------------------------------------------
@@ -302,11 +331,13 @@ class Network:
     def _prepare(self, src: Endpoint, dst: Endpoint,
                  size: int) -> Optional[float]:
         """Fault checks, pipe reservation, jitter — everything but the
-        calendar insertion. Returns the delivery delay, or None when the
-        message is blocked or fault-dropped. RNG streams are consumed in
-        exactly the order messages are prepared, which is what keeps
-        :meth:`broadcast`'s batched scheduling byte-identical to a loop
-        of :meth:`send` calls."""
+        calendar insertion and the sent-message counters (callers
+        increment those, so :meth:`broadcast` can batch them). Returns
+        the delivery delay, or None when the message is blocked or
+        fault-dropped. RNG streams are consumed in exactly the order
+        messages are prepared, which is what keeps :meth:`broadcast`'s
+        batched scheduling byte-identical to a loop of :meth:`send`
+        calls."""
         if size < 0:
             raise NetworkError(f"negative message size {size}")
         fault_latency = 0.0
@@ -316,24 +347,35 @@ class Network:
                 self._messages_blocked.inc()
                 return None
             extra, drop = self._link_faults(src, dst)
-            if drop > 0 and float(self._fault_rng.random()) < drop:
+            if drop > 0 and self._fault_sampler.next() < drop:
                 self._messages_fault_dropped.inc()
                 return None
             fault_latency = extra
-        i, j = self._index[src.region], self._index[dst.region]
+        index = self._index
+        i, j = index[src.region], index[dst.region]
         now = self.engine.now
-        propagation = float(self._rtt[i, j]) / 2.0
+        propagation = self._half_rtt[i][j]
         if self._model_bandwidth:
-            start, transfer = self._pipe(i, j).reserve(now, size)
-            queueing = start - now
+            # inlined _LinkPipe.reserve with an idle-pipe short circuit:
+            # an uncontended link (the common case for client traffic)
+            # skips the queueing arithmetic entirely
+            pipe = self._pipes.get((i, j))
+            if pipe is None:
+                pipe = _LinkPipe(self._bandwidth[i][j])
+                self._pipes[(i, j)] = pipe
+            transfer = size / pipe.bandwidth
+            free_at = pipe.free_at
+            if free_at <= now:
+                pipe.free_at = now + transfer
+                queueing = 0.0
+            else:
+                pipe.free_at = free_at + transfer
+                queueing = free_at - now
         else:
-            transfer = size / float(self._bw[i, j])
+            transfer = size / self._bandwidth[i][j]
             queueing = 0.0
-        delay = (queueing + transfer + propagation
-                 + self._jitter(propagation) + fault_latency)
-        self._messages_sent.inc()
-        self._bytes_sent.inc(size)
-        return delay
+        return (queueing + transfer + propagation
+                + self._jitter(propagation) + fault_latency)
 
     def send(self, src: Endpoint, dst: Endpoint, size: int,
              on_delivery: Callable[[], None], label: str = "") -> float:
@@ -347,6 +389,8 @@ class Network:
         delay = self._prepare(src, dst, size)
         if delay is None:
             return float("inf")
+        self._messages_sent.inc()
+        self._bytes_sent.inc(size)
         self.engine.schedule_after(delay, on_delivery,
                                    label=label or "network-delivery")
         return self.engine.now + delay
@@ -369,10 +413,12 @@ class Network:
         Equivalent to calling :meth:`send` per destination in order, but
         the calendar insertions go through :meth:`Engine.schedule_batch`
         so a wide fan-out costs one heap rebuild instead of one sift per
-        destination. Preparation (and therefore RNG consumption, pipe
-        reservation and metrics) still happens strictly in destination
-        order, and batch sequence numbers are assigned in that same
-        order, so results are identical to the one-by-one path.
+        destination, and the sent-message counters are incremented once
+        for the whole fan-out. Preparation (and therefore RNG
+        consumption and pipe reservation) still happens strictly in
+        destination order, and batch sequence numbers are assigned in
+        that same order, so results are identical to the one-by-one
+        path.
         """
         label = label or "network-delivery"
         now = self.engine.now
@@ -386,6 +432,10 @@ class Network:
             entries.append((now + delay, (lambda d=dst: on_delivery(d)),
                             label))
             times.append(now + delay)
+        sent = len(entries)
+        if sent:
+            self._messages_sent.inc(sent)
+            self._bytes_sent.inc(size * sent)
         self.engine.schedule_batch(entries)
         return times
 

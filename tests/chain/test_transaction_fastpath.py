@@ -1,0 +1,72 @@
+"""The single-hash transaction digests must match the generic digest form.
+
+``Transaction.signing_payload`` and ``Transaction.tx_hash`` were rewritten
+as one f-string plus one ``hashlib.sha256`` call; these tests pin them to
+the reference construction they replaced — ``digest(part, ...)``, which
+hashes ``str(part).encode() + b"\\0"`` per part.
+"""
+
+from __future__ import annotations
+
+from repro.chain.transaction import Transaction, TxKind, invoke, transfer
+from repro.crypto.hashing import digest
+
+
+def reference_signing_payload(tx: Transaction) -> str:
+    return digest("payload", tx.sender, tx.kind.value, tx.sequence,
+                  tx.recipient, tx.contract, tx.function, tx.args,
+                  tx.amount, tx.fee_per_gas, tx.gas_limit,
+                  tx.recent_block_hash)
+
+
+def reference_tx_hash(tx: Transaction) -> str:
+    return digest("tx", tx.uid, tx.sender, tx.kind.value, tx.sequence,
+                  tx.recipient, tx.contract, tx.function, tx.args,
+                  tx.amount)
+
+
+SAMPLES = [
+    transfer("alice", "bob", amount=7, sequence=3),
+    transfer("a", "b"),  # all defaults: recipient set, None contract/function
+    Transaction(sender="carol", kind=TxKind.TRANSFER),  # recipient None
+    invoke("dave", "exchange", "buy", args=(1, "GOOG", 2.5), sequence=9),
+    invoke("erin", "nft", "mint", args=()),  # empty args tuple
+    invoke("frank", "dots", "move", args=("nested", (1, 2), None)),
+    transfer("unicode-séndér", "れしぴ", amount=1),  # utf-8 multibyte parts
+]
+
+
+class TestSigningPayloadMatchesReference:
+    def test_samples(self):
+        for tx in SAMPLES:
+            assert tx.signing_payload() == reference_signing_payload(tx), tx
+
+    def test_fee_and_expiry_fields_are_covered(self):
+        tx = transfer("alice", "bob", amount=2, sequence=1)
+        base = tx.signing_payload()
+        assert base == reference_signing_payload(tx)
+        tx.fee_per_gas = 55
+        tx.tip = 5  # tip is NOT part of the payload — must not change it
+        assert tx.signing_payload() == reference_signing_payload(tx)
+        assert tx.signing_payload() != base
+        tx.recent_block_hash = "deadbeef"
+        assert tx.signing_payload() == reference_signing_payload(tx)
+
+    def test_bookkeeping_fields_are_not_covered(self):
+        tx = transfer("alice", "bob", amount=2, sequence=1)
+        before = tx.signing_payload()
+        tx.submitted_at = 1.5
+        tx.committed_at = 2.5
+        tx.retries = 3
+        assert tx.signing_payload() == before
+
+
+class TestTxHashMatchesReference:
+    def test_samples(self):
+        for tx in SAMPLES:
+            assert tx.tx_hash == reference_tx_hash(tx), tx
+
+    def test_distinct_transactions_hash_differently(self):
+        a = transfer("alice", "bob", amount=1)
+        b = transfer("alice", "bob", amount=1)
+        assert a.tx_hash != b.tx_hash  # uids differ

@@ -1,0 +1,37 @@
+"""PrecomputedSigner must be indistinguishable from SignatureScheme.sign."""
+
+from __future__ import annotations
+
+from repro.crypto.signing import ECDSA, ED25519, RSA4096, SCHEMES, keypair
+
+
+class TestSignerMatchesSign:
+    def test_all_schemes_all_messages(self):
+        for scheme in (ECDSA, ED25519, RSA4096):
+            private, _ = keypair(f"seed-{scheme.name}")
+            signer = scheme.signer(private)
+            for message in ("", "m", "payload-123", "ユニコード",
+                            "x" * 10_000):
+                assert signer(message) == scheme.sign(private, message)
+
+    def test_signatures_verify(self):
+        for scheme in SCHEMES.values():
+            private, public = keypair(f"verify-{scheme.name}")
+            signature = scheme.signer(private)("hello")
+            assert scheme.verify(public, "hello", signature)
+            assert not scheme.verify(public, "tampered", signature)
+
+    def test_signer_is_reusable_and_stateless(self):
+        private, _ = keypair("reuse")
+        signer = ECDSA.signer(private)
+        first = signer("alpha")
+        signer("beta")
+        signer("gamma")
+        # earlier calls must not perturb later ones (the hash state is
+        # copied per call, never mutated in place)
+        assert signer("alpha") == first == ECDSA.sign(private, "alpha")
+
+    def test_different_keys_different_signers(self):
+        a, _ = keypair("key-a")
+        b, _ = keypair("key-b")
+        assert ECDSA.signer(a)("msg") != ECDSA.signer(b)("msg")

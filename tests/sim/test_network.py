@@ -58,6 +58,32 @@ class TestTopologyMatrices:
         assert (matrix > 0).all()
 
 
+class TestMatrixCaching:
+    """The topology is static; the matrices are built once at import."""
+
+    def test_accessors_return_fresh_copies(self):
+        a, b = rtt_matrix(), rtt_matrix()
+        assert a is not b
+        assert (a == b).all()
+
+    def test_mutating_a_copy_does_not_leak(self):
+        mutated = rtt_matrix()
+        before = rtt_between("tokyo", "cape-town")
+        mutated[:] = 0.0
+        assert rtt_between("tokyo", "cape-town") == before
+        bw = bandwidth_matrix()
+        bw_before = bandwidth_between("ohio", "oregon")
+        bw[:] = 1.0
+        assert bandwidth_between("ohio", "oregon") == bw_before
+
+    def test_between_matches_matrix_exactly(self):
+        rtt, bw = rtt_matrix(), bandwidth_matrix()
+        for i, a in enumerate(REGIONS):
+            for j, b in enumerate(REGIONS):
+                assert rtt_between(a, b) == float(rtt[i, j])
+                assert bandwidth_between(a, b) == float(bw[i, j])
+
+
 class TestEndpoint:
     def test_valid_region(self):
         Endpoint("n", "tokyo")
@@ -194,6 +220,20 @@ class TestBroadcastBatchEquivalence:
         eng_a.run()
         eng_b.run()
         assert got_a == got_b
+
+    def test_broadcast_counters_match_sequential_sends(self):
+        # broadcast batches the sent counters into one increment; totals
+        # must still equal the per-send path
+        eng_a, eng_b = Engine(), Engine()
+        net_a = Network(eng_a, rng_factory=RngFactory(4))
+        net_b = Network(eng_b, rng_factory=RngFactory(4))
+        eps = self._endpoints()
+        net_a.broadcast(eps[0], eps[1:], size=250,
+                        on_delivery=lambda d: None)
+        for d in eps[1:]:
+            net_b.send(eps[0], d, 250, lambda: None)
+        assert net_a.messages_sent == net_b.messages_sent == len(eps) - 1
+        assert net_a.bytes_sent == net_b.bytes_sent == 250 * (len(eps) - 1)
 
     def test_broadcast_consumes_rng_in_destination_order(self):
         # two identically seeded networks broadcasting to the same
