@@ -23,9 +23,15 @@ paper-versus-measured record of every table and figure.
 """
 
 from repro.blockchains.base import ExperimentScale
+from repro.core.population import PopulationSpec
 from repro.core.primary import Primary
 from repro.core.results import BenchmarkResult
-from repro.core.runner import run_benchmark, run_matrix, run_trace
+from repro.core.runner import (
+    run_benchmark,
+    run_matrix,
+    run_population,
+    run_trace,
+)
 from repro.core.spec import LoadSchedule, WorkloadSpec, load_spec
 from repro.sweep import ResultCache, SweepSpec, load_sweep, run_sweep
 
@@ -35,6 +41,7 @@ __all__ = [
     "BenchmarkResult",
     "ExperimentScale",
     "LoadSchedule",
+    "PopulationSpec",
     "Primary",
     "ResultCache",
     "SweepSpec",
@@ -44,6 +51,7 @@ __all__ = [
     "load_sweep",
     "run_benchmark",
     "run_matrix",
+    "run_population",
     "run_sweep",
     "run_trace",
 ]

@@ -2,11 +2,14 @@
 
 from repro.analysis.summary import (
     CSV_COLUMNS,
+    binding_subsystem,
     cdf_points,
     comparison_table,
     dos_report,
     economic_impact,
     format_table,
+    knee_table,
+    population_report,
     results_to_csv,
     throughput_timeseries,
     transactions_to_csv,
@@ -14,11 +17,14 @@ from repro.analysis.summary import (
 
 __all__ = [
     "CSV_COLUMNS",
+    "binding_subsystem",
     "cdf_points",
     "comparison_table",
     "dos_report",
     "economic_impact",
     "format_table",
+    "knee_table",
+    "population_report",
     "results_to_csv",
     "throughput_timeseries",
     "transactions_to_csv",

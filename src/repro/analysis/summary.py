@@ -298,6 +298,102 @@ def dos_report(baseline: BenchmarkResult,
     return "\n".join(lines)
 
 
+def binding_subsystem(result: BenchmarkResult) -> str:
+    """Which subsystem binds at saturation, read from the run's stats.
+
+    Heuristic, in blame order: ``memory`` (overload responses fired or
+    pressure hit the ceiling), ``admission`` (the ingress gate shed
+    load), ``mempool`` (the pool dropped transactions), ``consensus``
+    (nothing was shed or dropped, the backlog simply outran commits), or
+    ``none`` (the run kept up). Used by the knee tables in docs/SCALE.md
+    to name *why* each chain stops scaling.
+    """
+    if result.commit_ratio >= 0.95:
+        return "none"
+    stats = result.chain_stats
+    pressure = float(stats.get("memory_pressure_peak", 0.0) or 0.0)
+    if result.overload_events or pressure >= 1.0:
+        return "memory"
+    if int(stats.get("admission_shed_rejections", 0) or 0) > 0:
+        return "admission"
+    pool_drops = sum(int(value) for key, value in stats.items()
+                     if key.startswith("mempool_drop_"))
+    if pool_drops > 0 or int(stats.get("dropped", 0) or 0) > 0:
+        return "mempool"
+    return "consensus"
+
+
+def knee_table(results: Dict[int, BenchmarkResult],
+               knee_ratio: float = 0.9) -> List[Dict]:
+    """Rows of a population-scale knee sweep for one chain.
+
+    *results* maps a user count to the population run at that count
+    (``run_population`` or a sweep's ``populations`` axis). Each row
+    reports the population-scaled offered load, delivered throughput,
+    commit ratio and p95 latency plus the binding subsystem; the first
+    population whose commit ratio falls below *knee_ratio* is flagged as
+    the knee — the population size where the chain stops keeping up.
+    """
+    rows: List[Dict] = []
+    knee_found = False
+    for users in sorted(results):
+        result = results[users]
+        scaled = (result.population or {}).get("population_scaled", {})
+        ratio = float(scaled.get("commit_ratio", result.commit_ratio))
+        at_knee = not knee_found and ratio < knee_ratio
+        knee_found = knee_found or at_knee
+        rows.append({
+            "users": users,
+            "offered_load_tps": scaled.get("offered_load_tps"),
+            "throughput_tps": scaled.get("throughput_tps"),
+            "commit_ratio": round(ratio, 4),
+            "p95_latency_s": scaled.get("latency_p95_s"),
+            "binding": binding_subsystem(result),
+            "knee": at_knee,
+        })
+    return rows
+
+
+def population_report(result: BenchmarkResult) -> str:
+    """Population-run report (text, for the CLI and examples).
+
+    Renders the three sections of the result's ``population`` block —
+    cohort-exact, aggregate-lane and population-scaled — as aligned
+    text, ending with the binding-subsystem verdict.
+    """
+    block = result.population
+    if not block:
+        return "(not a population run)"
+    cohort = block["cohort_exact"]
+    aggregate = block["aggregate_lane"]
+    scaled = block["population_scaled"]
+
+    def latency(section: Dict, key: str) -> str:
+        value = section.get(key)
+        return f"{value:.2f}s" if value is not None else "n/a"
+
+    lines = [
+        f"population            {block['users']:,} users"
+        f" ({block['cohort_size']:,} tracked cohort,"
+        f" {block['aggregate_users']:,} aggregate,"
+        f" {block['arrival']} arrivals)",
+        f"offered load          {scaled['offered_load_tps']:,.0f} TPS",
+        f"delivered throughput  {scaled['throughput_tps']:,.1f} TPS",
+        f"commit ratio          {scaled['commit_ratio']:.2%}"
+        f" (cohort {cohort['commit_ratio']:.2%},"
+        f" aggregate {aggregate['commit_ratio']:.2%})",
+        f"cohort latency        p50 {latency(cohort, 'latency_p50_s')},"
+        f" p95 {latency(cohort, 'latency_p95_s')}"
+        f" ({cohort['submitted']} txs, full per-tx fidelity)",
+        f"aggregate lane        {aggregate['submitted']:,} submitted,"
+        f" {aggregate['committed']:,} committed,"
+        f" {aggregate['dropped']:,} dropped",
+        f"binding subsystem     {binding_subsystem(result)}",
+        f"run status            {result.status}",
+    ]
+    return "\n".join(lines)
+
+
 def throughput_timeseries(result: BenchmarkResult,
                           bin_size: float = 1.0) -> List[Dict[str, float]]:
     """Per-second load vs throughput rows (the paper's time series)."""

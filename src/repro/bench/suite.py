@@ -78,6 +78,9 @@ MICROS: Tuple[Scenario, ...] = (
            batch=500),
     _micro("client-emission", chain="ethereum", rate_tps=2_000.0,
            duration_s=15.0, accounts=2_000, scale=1.0, seed=1),
+    _micro("population", chain="ethereum", users=1_000_000, cohort=256,
+           rate_per_user=0.002, duration_s=15.0, accounts=2_000,
+           scale=1.0, seed=1, arrival="poisson"),
 )
 
 _SMALL = [_chain_cell(chain, "small", rate=500.0, duration=60.0, scale=0.5)
@@ -282,10 +285,82 @@ def _run_client_emission(params: Mapping[str, Any],
     }
 
 
+def _run_population(params: Mapping[str, Any],
+                    profiler: Optional[Any]) -> Tuple[Any, Dict[str, int]]:
+    """The population layer's aggregate emission path in isolation.
+
+    One million simulated users against Ethereum's runtime with block
+    production held off and an unbounded pool (the `client-emission`
+    harness), split between a Poisson aggregate arrival process and a
+    256-user tracked cohort: the measurement is the cost of turning a
+    population-scale rate into admitted transactions — arrival draws,
+    batched encode/sign, lane-tagged submission — with no consensus
+    noise. See docs/SCALE.md.
+    """
+    from dataclasses import replace
+
+    from repro.blockchains.base import BlockchainNetwork, ExperimentScale
+    from repro.blockchains.registry import chain_params
+    from repro.chain.mempool import MempoolPolicy
+    from repro.chain.transaction import reset_tx_counter
+    from repro.core.interface import SimConnector
+    from repro.core.population import AggregateArrivals, PopulationSpec
+    from repro.core.secondary import Secondary
+    from repro.core.spec import (AccountSample, Behavior, LoadSchedule,
+                                 TransferSpec)
+    from repro.sim.deployment import get_configuration
+    from repro.sim.engine import Engine
+
+    reset_tx_counter()
+    engine = Engine()
+    engine.profiler = profiler
+    deployment = get_configuration("testnet")
+    chain = replace(chain_params(str(params["chain"]), deployment),
+                    mempool_policy=MempoolPolicy(capacity=None),
+                    retry_policy=None)
+    network = BlockchainNetwork(
+        chain, deployment, engine,
+        scale=ExperimentScale(float(params["scale"])),
+        seed=int(params["seed"]))
+    network._producing = True   # hold consensus off: emission only
+    network.create_accounts(int(params["accounts"]))
+    connector = SimConnector(network)
+    endpoint = network.endpoints[0]
+    secondary = Secondary("secondary-bench-0", endpoint.region, engine,
+                          connector, network.scale)
+    spec = PopulationSpec(
+        users=int(params["users"]),
+        interaction=TransferSpec(AccountSample(int(params["accounts"]))),
+        load=LoadSchedule.constant(float(params["rate_per_user"]),
+                                   float(params["duration_s"])),
+        cohort=int(params["cohort"]),
+        arrival=str(params["arrival"]))
+    cohort_clients = [
+        connector.create_client(f"bench-client-{i}", endpoint.region,
+                                (endpoint.name,))
+        for i in range(spec.cohort_size)]
+    secondary.assign(cohort_clients, Behavior(spec.interaction, spec.load))
+    process = AggregateArrivals(spec, network.scale.rate, secondary.tick,
+                                network.rng.child("population"))
+    secondary.assign_aggregate(process, spec.interaction)
+    secondary.start()
+    engine.run()
+    cohort_emitted = len(secondary.sent)
+    aggregate_emitted = len(secondary.aggregate_sent)
+    return engine, {
+        "events_executed": engine.events_executed,
+        "transactions_emitted": cohort_emitted + aggregate_emitted,
+        "aggregate_emitted": aggregate_emitted,
+        "cohort_emitted": cohort_emitted,
+        "pooled": len(network.mempool),
+    }
+
+
 MICRO_BODIES: Dict[str, Callable[[Mapping[str, Any], Optional[Any]],
                                  Tuple[Any, Dict[str, int]]]] = {
     "engine-calendar": _run_engine_calendar,
     "engine-broadcast": _run_engine_broadcast,
     "mempool-churn": _run_mempool_churn,
     "client-emission": _run_client_emission,
+    "population": _run_population,
 }

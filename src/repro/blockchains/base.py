@@ -404,6 +404,10 @@ class BlockchainNetwork:
         self.fee_bump_exempt: frozenset = frozenset()
         self._retry_rng = self.rng.stream("client", "retry-jitter")
         self._attempts: Dict[int, int] = {}
+        #: arrivals per non-client submission lane (e.g. ``"aggregate"``
+        #: for a population's untracked users — see repro.core.population).
+        #: Stays empty on classic runs so their stats remain byte-identical.
+        self.lane_arrivals: Dict[str, int] = {}
         self._retries_scheduled = chain_metrics.counter("retries_scheduled")
         self._retries_succeeded = chain_metrics.counter("retries_succeeded")
         #: lifecycle tracer; None = tracing fully off (the default), every
@@ -721,7 +725,8 @@ class BlockchainNetwork:
         """Submission attempts recorded for *tx* (1 = no retries)."""
         return self._attempts.get(tx.uid, 0)
 
-    def submit_batch(self, txs: Sequence[Transaction]) -> int:
+    def submit_batch(self, txs: Sequence[Transaction],
+                     lane: str = "client") -> int:
         """Submit many transactions at the current instant; return #accepted.
 
         Fast lane for the Secondary's per-tick batch: per-transaction
@@ -735,7 +740,16 @@ class BlockchainNetwork:
         batched counters are only read from block-production events.
         With a tracer attached the batch falls back to per-transaction
         :meth:`submit` so trace events keep their exact shape.
+
+        ``lane`` names the submission lane for arrival attribution:
+        ``"client"`` (the default) is untagged; any other lane — the
+        population layer submits its untracked users as ``"aggregate"``
+        — accumulates in :attr:`lane_arrivals` and surfaces as an
+        ``arrivals_<lane>`` stat. Admission treats every lane the same.
         """
+        if lane != "client" and txs:
+            self.lane_arrivals[lane] = (
+                self.lane_arrivals.get(lane, 0) + len(txs))
         if self.tracer is not None:
             accepted = 0
             for tx in txs:
@@ -1164,4 +1178,6 @@ class BlockchainNetwork:
             stats["byzantine_stalled_blocks"] = (
                 self._byzantine_stalled_blocks.value)
             stats["byzantine_events"] = len(self.byzantine_schedule)
+        for lane, count in sorted(self.lane_arrivals.items()):
+            stats[f"arrivals_{lane}"] = count
         return stats

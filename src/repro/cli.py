@@ -14,6 +14,9 @@ workload is the same YAML dialect::
     python -m repro suite --chain solana --configuration consortium \
         --workload fifa
 
+    python -m repro population --chain ethereum --users 1000000 \
+        --rate-per-user 0.001 --duration 120
+
     python -m repro csv results.json > results.csv
 
     python -m repro trace ethereum --duration 30 --chrome-trace out.json
@@ -23,9 +26,12 @@ workload is the same YAML dialect::
     python -m repro bench --suite mini --compare BENCH_2026-08-08.json
 
 ``run`` executes a YAML workload specification; ``suite`` runs one of the
-built-in DApp/synthetic traces; ``sweep`` executes a whole experiment
-matrix (chains × configurations × workloads × seeds × scales) over a
-worker pool with result caching; ``csv`` converts a results JSON file to
+built-in DApp/synthetic traces; ``population`` simulates an aggregate
+client population (millions of users as batched arrival processes plus a
+tracked cohort — see docs/SCALE.md); ``sweep`` executes a whole
+experiment matrix (chains × configurations × workloads × seeds × scales
+× populations) over a worker pool with result caching; ``csv`` converts
+a results JSON file to
 the artifact's per-transaction CSV format; ``trace`` runs a short
 workload with full observability (lifecycle tracer + engine profiler)
 and prints the per-phase latency breakdown; ``bench`` records a point on
@@ -46,12 +52,14 @@ from repro.analysis.summary import (
     degradation_report,
     dos_report,
     overload_report,
+    population_report,
     transactions_to_csv,
 )
 from repro.blockchains.registry import CHAIN_NAMES, characteristics_table
 from repro.core.primary import Primary
 from repro.core.results import BenchmarkResult
-from repro.core.runner import run_benchmark, run_trace
+from repro.core.population import ARRIVAL_KINDS
+from repro.core.runner import run_benchmark, run_population, run_trace
 from repro.obs import (
     ObservabilityOptions,
     trace_report,
@@ -307,10 +315,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     suite_parser.add_argument("--workload", required=True,
                               choices=sorted(_available_workloads()))
 
+    population_parser = commands.add_parser(
+        "population", help="simulate an aggregate client population:"
+        " millions of users as batched arrival processes plus a tracked"
+        " cohort with per-transaction fidelity (see docs/SCALE.md)")
+    _add_common(population_parser)
+    population_parser.add_argument("--users", required=True, type=int,
+                                   help="simulated population size")
+    population_parser.add_argument("--rate-per-user", type=float,
+                                   default=0.001,
+                                   help="transactions per second each user"
+                                   " submits (population offered load ="
+                                   " users x rate)")
+    population_parser.add_argument("--duration", type=float, default=120.0,
+                                   help="workload duration (seconds)")
+    population_parser.add_argument("--cohort", type=int, default=None,
+                                   help="tracked-cohort size (default:"
+                                   " min(1000, users)); cohort members run"
+                                   " as ordinary clients so their"
+                                   " transactions keep full per-tx metrics")
+    population_parser.add_argument("--arrival", default="poisson",
+                                   choices=ARRIVAL_KINDS,
+                                   help="aggregate-lane arrival process")
+
     sweep_parser = commands.add_parser(
         "sweep", help="execute an experiment matrix (chains x configurations"
-        " x workloads x seeds x scales) over a worker pool, replaying"
-        " unchanged cells from the result cache")
+        " x workloads x seeds x scales x populations) over a worker pool,"
+        " replaying unchanged cells from the result cache")
     sweep_parser.add_argument("spec", type=Path,
                               help="sweep specification YAML file"
                               " (see docs/SWEEPS.md)")
@@ -518,6 +549,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                            max_sim_seconds=args.max_sim_seconds,
                            watchdog_window=args.watchdog_window)
         _emit(result, args.output, args.stat, args.compress)
+    elif args.command == "population":
+        result = run_population(args.chain, args.configuration,
+                                users=args.users,
+                                rate_per_user=args.rate_per_user,
+                                duration=args.duration,
+                                cohort=args.cohort,
+                                arrival=args.arrival,
+                                accounts=args.accounts,
+                                scale=args.scale, seed=args.seed,
+                                max_sim_seconds=args.max_sim_seconds,
+                                watchdog_window=args.watchdog_window)
+        _emit(result, args.output, args.stat, args.compress)
+        print(population_report(result))
     elif args.command == "overload":
         spec = simple_spec(
             TransferSpec(AccountSample(args.accounts)),

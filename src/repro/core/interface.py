@@ -86,6 +86,23 @@ class BlockchainConnector:
                 accepted += 1
         return accepted
 
+    def trigger_aggregate(self, encoded: Sequence[Transaction]) -> int:
+        """Submit a population's aggregate-lane batch; return #accepted.
+
+        Aggregate transactions have no client object behind them — they
+        represent the untracked users of a ``population:`` workload
+        (see :mod:`repro.core.population`). The default funnels them
+        through :meth:`trigger` under one shared placeholder client so
+        any connector is population-capable.
+        """
+        if not hasattr(self, "_population_client"):
+            self._population_client = Client("population", "", ())
+        accepted = 0
+        for tx in encoded:
+            if self.trigger(self._population_client, tx):
+                accepted += 1
+        return accepted
+
 
 class SimConnector(BlockchainConnector):
     """Connector for the simulated blockchains."""
@@ -314,3 +331,12 @@ class SimConnector(BlockchainConnector):
         :meth:`BlockchainNetwork.submit_batch` call.
         """
         return self.network.submit_batch(encoded)
+
+    def trigger_aggregate(self, encoded: Sequence[Transaction]) -> int:
+        """Submit an aggregate-lane batch, tagged for lane accounting.
+
+        Same admission path as client traffic; the ``lane`` tag only
+        adds per-lane arrival counters to the chain stats so population
+        runs can attribute load (see docs/SCALE.md).
+        """
+        return self.network.submit_batch(encoded, lane="aggregate")

@@ -10,6 +10,7 @@ into a :class:`BenchmarkResult` (the JSON output of the real tool).
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.blockchains.base import (
@@ -20,6 +21,7 @@ from repro.blockchains.base import (
 from repro.blockchains.registry import build_network
 from repro.common.errors import ConfigurationError, DeploymentError
 from repro.core.interface import Client, SimConnector
+from repro.core.population import AggregateArrivals, population_block
 from repro.core.results import BenchmarkResult, TransactionRecord
 from repro.core.secondary import Secondary
 from repro.core.spec import WorkloadSpec
@@ -127,11 +129,17 @@ class Primary:
                     scale=self.scale))
 
     def _dispatch(self, spec: WorkloadSpec) -> None:
-        """Assign each workload group's clients to matching Secondaries."""
+        """Assign each workload group's clients to matching Secondaries.
+
+        Population specs dispatch their synthesized cohort group here
+        (``spec.client_groups()``) so the tracked sample gets ordinary
+        ``client-{N}`` clients on the classic path; the aggregate lane is
+        attached separately by :meth:`_attach_population`.
+        """
         endpoint_names = [ep.name for ep in self.network.endpoints]
         endpoint_region = {ep.name: ep.region for ep in self.network.endpoints}
         client_counter = 0
-        for group in spec.workloads:
+        for group in spec.client_groups():
             matching = [s for s in self.secondaries
                         if group.client.location.matches(s.region)]
             if not matching:
@@ -161,6 +169,31 @@ class Primary:
             for index, clients in per_secondary.items():
                 for behavior in group.client.behaviors:
                     matching[index].assign(clients, behavior)
+
+    def _attach_population(self, spec: WorkloadSpec) -> None:
+        """Attach the population's aggregate lane, if any.
+
+        The untracked users become one :class:`AggregateArrivals` process
+        hosted by the first location-matching Secondary (deterministic:
+        regions sort identically every run). A population whose cohort
+        covers every user attaches nothing — the run then exercises only
+        the classic client path and stays byte-identical to an explicit
+        spec with the same clients.
+        """
+        population = spec.population
+        if population is None or population.aggregate_users <= 0:
+            return
+        matching = [s for s in self.secondaries
+                    if re.fullmatch(population.location, s.region)]
+        if not matching:
+            raise ConfigurationError(
+                f"no Secondary matches population location"
+                f" {population.location!r}")
+        host = matching[0]
+        process = AggregateArrivals(
+            population, self.scale.rate, host.tick,
+            self.network.rng.child("population"))
+        host.assign_aggregate(process, population.interaction)
 
     def _validate_schedules(self, schedule, byzantine) -> None:
         """Fail fast on fault/byzantine events naming unknown targets.
@@ -201,6 +234,7 @@ class Primary:
         self._provision(spec)
         self._build_secondaries(spec)
         self._dispatch(spec)
+        self._attach_population(spec)
         schedule = spec.fault_schedule()
         byzantine = spec.byzantine_schedule()
         self._validate_schedules(schedule, byzantine)
@@ -307,4 +341,13 @@ class Primary:
             if self.adversary is not None:
                 economics["adversary"] = self.adversary.stats()
             result.economics = economics
+        if spec.population is not None:
+            # every TransactionRecord of a population run is a cohort
+            # record; aggregate-lane txs never become records (they carry
+            # no client identity) but are counted here
+            aggregate_sent = [tx for secondary in self.secondaries
+                              for tx in secondary.aggregate_sent]
+            result.population = population_block(
+                spec.population, result.records, aggregate_sent,
+                duration, self.scale.factor)
         return result

@@ -98,6 +98,11 @@ class BenchmarkResult:
     #: ``fees:``/``adversary:`` section, so benign runs serialize
     #: identically to runs from before the fee market existed
     economics: Dict[str, Any] = field(default_factory=dict)
+    #: population-run metrics (cohort-exact vs population-scaled, see
+    #: :func:`repro.core.population.population_block`) — empty unless the
+    #: spec had a ``population:`` section, so classic runs serialize
+    #: identically to runs from before the population layer existed
+    population: Dict[str, Any] = field(default_factory=dict)
 
     # -- core aggregates (unscaled back to real-experiment units) ----------------
 
@@ -364,6 +369,8 @@ class BenchmarkResult:
             summary["timeseries"] = self.timeseries
         if self.economics:
             summary["economics"] = self.economics
+        if self.population:
+            summary["population"] = self.population
         return summary
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -389,7 +396,8 @@ class BenchmarkResult:
             liveness_events=summary.get("liveness_events", []),
             overload_events=summary.get("overload_events", []),
             timeseries=summary.get("timeseries", []),
-            economics=summary.get("economics", {}))
+            economics=summary.get("economics", {}),
+            population=summary.get("population", {}))
         for raw in payload["transactions"]:
             result.records.append(TransactionRecord(**raw))
         return result

@@ -10,6 +10,13 @@ the exact times the workload's load schedule dictates (virtual-time load
 generation — the reproduction is never bottlenecked by the generator, see
 DESIGN.md). It records the submission timestamp right before triggering,
 like the real implementation.
+
+Population workloads add an **aggregate lane** next to the classic client
+assignments: an :class:`~repro.core.population.AggregateArrivals` process
+decides how many of the population's untracked users transact each tick,
+and the Secondary emits that count through the batched
+``encode_batch``/``trigger_aggregate`` path — no per-client objects, so
+millions of users cost one event per tick (see docs/SCALE.md).
 """
 
 from __future__ import annotations
@@ -20,7 +27,8 @@ from typing import List, Optional, Tuple
 from repro.blockchains.base import ExperimentScale
 from repro.chain.transaction import Transaction
 from repro.core.interface import BlockchainConnector, Client
-from repro.core.spec import Behavior
+from repro.core.population import AggregateArrivals
+from repro.core.spec import Behavior, Interaction
 from repro.sim.engine import Engine
 
 DEFAULT_TICK = 0.1
@@ -59,10 +67,21 @@ class Secondary:
         self.sent: List[Tuple[Transaction, str]] = []  # (tx, client name)
         self.rejected = 0
         self.late_warnings = 0
+        # the aggregate lane (population workloads): arrival processes
+        # with no client objects behind them
+        self.aggregates: List[Tuple[AggregateArrivals, Interaction]] = []
+        self.aggregate_sent: List[Transaction] = []
+        self.aggregate_rejected = 0
 
     def assign(self, clients: List[Client], behavior: Behavior) -> None:
         if clients:
             self.assignments.append(Assignment(list(clients), behavior))
+
+    def assign_aggregate(self, process: AggregateArrivals,
+                         interaction: Interaction) -> None:
+        """Attach an aggregate arrival process (a population's untracked
+        users) to this Secondary's emission schedule."""
+        self.aggregates.append((process, interaction))
 
     @property
     def worker_count(self) -> int:
@@ -74,6 +93,8 @@ class Secondary:
         """Schedule this Secondary's whole workload on the engine."""
         for assignment in self.assignments:
             self._start_assignment(assignment)
+        for process, interaction in self.aggregates:
+            self._start_aggregate(process, interaction)
 
     def _start_assignment(self, assignment: Assignment) -> None:
         behavior = assignment.behavior
@@ -158,3 +179,39 @@ class Secondary:
 
         tick_body = emit_fast if self.fast_path else emit
         self.engine.schedule_after(0.0, tick_body, label=f"{self.name}-start")
+
+    def _start_aggregate(self, process: AggregateArrivals,
+                         interaction: Interaction) -> None:
+        """Tick loop for one aggregate arrival process.
+
+        Each tick asks the process how many of its users transact
+        (exactly one :meth:`AggregateArrivals.count_at` call per tick —
+        the determinism contract), encodes that many transactions through
+        the batched fast path and submits them on the aggregate lane.
+        The transactions land in ``aggregate_sent``, not ``sent``: they
+        carry no client identity and never become TransactionRecords.
+        """
+        duration = process.duration
+        state = {"t": 0.0}
+        emit_label = f"{self.name}-aggregate-emit"
+        connector = self.connector
+        engine = self.engine
+        tick = self.tick
+
+        def emit_aggregate() -> None:
+            t = state["t"]
+            if t >= duration:
+                return
+            count = process.count_at(t)
+            if count:
+                now = engine.now
+                txs = connector.encode_batch(interaction, None, now, count)
+                accepted = connector.trigger_aggregate(txs)
+                self.aggregate_sent.extend(txs)
+                self.aggregate_rejected += count - accepted
+            state["t"] = t + tick
+            if state["t"] < duration:
+                engine.schedule_after(tick, emit_aggregate, label=emit_label)
+
+        self.engine.schedule_after(0.0, emit_aggregate,
+                                   label=f"{self.name}-aggregate-start")

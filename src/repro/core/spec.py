@@ -28,6 +28,25 @@ custom tags included:
                 50: 4438
                 120: 0
 
+A configuration may instead declare a client **population** — millions of
+users simulated as aggregate arrival processes plus a tracked cohort
+(see :mod:`repro.core.population` and docs/SCALE.md):
+
+.. code-block:: yaml
+
+    population:
+      users: 5_000_000
+      rate_per_user: 0.001     # each user averages one tx per ~17 min
+      duration: 120
+      cohort: 1000             # individually-tracked sample (default)
+      arrival: poisson         # or burst / deterministic
+      interaction: !transfer
+        from: { sample: !account { number: 2000 } }
+
+``population`` and ``workloads`` are mutually exclusive: a population
+already says how many users exist, so an explicit client list alongside
+it is rejected at parse time.
+
 Specs can equally be built programmatically from the dataclasses below.
 """
 
@@ -40,6 +59,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import yaml
 
 from repro.common.errors import SpecError
+from repro.core.population import PopulationSpec
 from repro.econ.fees import FeeSpec
 from repro.sim.byzantine import (
     ByzantineEvent,
@@ -258,17 +278,29 @@ class WorkloadSpec:
     when their sections are absent, and a None stays entirely out of the
     pipeline — benign runs are byte-identical to a spec class without
     these fields.
+
+    ``population`` replaces the explicit client list with an aggregate
+    population (:class:`repro.core.population.PopulationSpec`): a user
+    count with a per-user rate profile, simulated as arrival processes
+    plus a tracked cohort. It is mutually exclusive with ``workloads`` —
+    a population already determines how many users exist.
     """
 
-    workloads: Tuple[WorkloadGroup, ...]
+    workloads: Tuple[WorkloadGroup, ...] = ()
     faults: Tuple[FaultEvent, ...] = ()
     byzantine: Tuple[ByzantineEvent, ...] = ()
     deadline: Optional[float] = None
     fees: Optional[FeeSpec] = None
     adversary: Optional[AdversarySpec] = None
+    population: Optional[PopulationSpec] = None
 
     def __post_init__(self) -> None:
-        if not self.workloads:
+        if self.population is not None and self.workloads:
+            raise SpecError(
+                "a spec cannot declare both 'population' (aggregate users)"
+                " and 'workloads' (explicit client lists) — the population's"
+                " user count already determines the clients")
+        if not self.workloads and self.population is None:
             raise SpecError("a workload spec needs at least one workload")
         if self.deadline is not None and self.deadline <= 0:
             raise SpecError(f"deadline must be positive: {self.deadline}")
@@ -284,11 +316,36 @@ class WorkloadSpec:
         """The byzantine events as a validated, time-ordered schedule."""
         return ByzantineSchedule(self.byzantine)
 
+    def client_groups(self) -> Tuple[WorkloadGroup, ...]:
+        """The workload groups the Primary dispatches clients from.
+
+        For an explicit spec this is ``workloads`` verbatim. For a
+        population it is the synthesized **cohort** group: ``cohort_size``
+        ordinary clients each carrying the population's per-user schedule,
+        so the tracked sample runs through the classic client path
+        unchanged (and a cohort covering every user is byte-identical to
+        an equivalent explicit spec). The aggregate lane is attached by
+        the Primary separately — it has no client objects.
+        """
+        if self.population is None:
+            return self.workloads
+        pop = self.population
+        cohort = WorkloadGroup(
+            number=pop.cohort_size,
+            client=ClientSpec(
+                location=LocationSample((pop.location,)),
+                view=EndpointSample((pop.view,)),
+                behaviors=(Behavior(pop.interaction, pop.load),)))
+        return (cohort,)
+
     @property
     def duration(self) -> float:
-        return max(behavior.load.duration
-                   for group in self.workloads
-                   for behavior in group.client.behaviors)
+        durations = [behavior.load.duration
+                     for group in self.workloads
+                     for behavior in group.client.behaviors]
+        if self.population is not None:
+            durations.append(self.population.duration)
+        return max(durations)
 
     def account_population(self) -> int:
         """Largest account sample any behaviour draws from."""
@@ -297,16 +354,22 @@ class WorkloadSpec:
             for behavior in group.client.behaviors:
                 interaction = behavior.interaction
                 sizes.append(interaction.from_accounts.number)
+        if self.population is not None:
+            sizes.append(self.population.interaction.from_accounts.number)
         return max(sizes)
 
     def contracts_used(self) -> List[str]:
         names = []
-        for group in self.workloads:
-            for behavior in group.client.behaviors:
-                if isinstance(behavior.interaction, InvokeSpec):
-                    name = behavior.interaction.contract.name
-                    if name not in names:
-                        names.append(name)
+        interactions = [behavior.interaction
+                        for group in self.workloads
+                        for behavior in group.client.behaviors]
+        if self.population is not None:
+            interactions.append(self.population.interaction)
+        for interaction in interactions:
+            if isinstance(interaction, InvokeSpec):
+                name = interaction.contract.name
+                if name not in names:
+                    names.append(name)
         return names
 
     def offered_load(self) -> float:
@@ -314,6 +377,9 @@ class WorkloadSpec:
         total_tx = sum(group.number * behavior.load.total_transactions()
                        for group in self.workloads
                        for behavior in group.client.behaviors)
+        if self.population is not None:
+            total_tx += (self.population.users
+                         * self.population.load.total_transactions())
         duration = self.duration
         return total_tx / duration if duration > 0 else 0.0
 
@@ -385,12 +451,74 @@ def _build_interaction(raw: Any) -> Interaction:
     return InvokeSpec.from_call(accounts, contract, str(raw["function"]))
 
 
+_POPULATION_KEYS = frozenset({
+    "users", "cohort", "interaction", "load", "rate_per_user", "duration",
+    "arrival", "burst_factor", "burst_fraction", "burst_length",
+    "location", "view"})
+
+
+def population_from_dict(raw: Any) -> PopulationSpec:
+    """Build a PopulationSpec from a parsed ``population:`` section.
+
+    The rate profile comes either from an explicit per-user ``load``
+    schedule (same mapping form as client behaviours) or the
+    ``rate_per_user`` + ``duration`` constant-rate shorthand — exactly
+    one of the two.
+    """
+    if not isinstance(raw, dict):
+        raise SpecError("'population' must be a mapping")
+    unknown = set(raw) - _POPULATION_KEYS
+    if unknown:
+        raise SpecError(
+            f"unknown population keys: {', '.join(sorted(unknown))}")
+    if "users" not in raw:
+        raise SpecError("'population' needs a 'users' count")
+    if "interaction" not in raw:
+        raise SpecError("'population' needs an 'interaction'"
+                        " (!transfer or !invoke)")
+    interaction = _build_interaction(raw["interaction"])
+    has_load = "load" in raw
+    has_shorthand = "rate_per_user" in raw or "duration" in raw
+    if has_load and has_shorthand:
+        raise SpecError("'population' takes either a 'load' schedule or"
+                        " 'rate_per_user' + 'duration', not both")
+    if has_load:
+        load = LoadSchedule.from_mapping(raw["load"])
+    elif "rate_per_user" in raw and "duration" in raw:
+        load = LoadSchedule.constant(float(raw["rate_per_user"]),
+                                     float(raw["duration"]))
+    else:
+        raise SpecError("'population' needs a per-user rate profile:"
+                        " a 'load' schedule, or 'rate_per_user' and"
+                        " 'duration' together")
+    kwargs: Dict[str, Any] = {}
+    if raw.get("cohort") is not None:
+        kwargs["cohort"] = int(raw["cohort"])
+    if "arrival" in raw:
+        kwargs["arrival"] = str(raw["arrival"])
+    for key in ("burst_factor", "burst_fraction", "burst_length"):
+        if key in raw:
+            kwargs[key] = float(raw[key])
+    for key in ("location", "view"):
+        if key in raw:
+            kwargs[key] = str(raw[key])
+    return PopulationSpec(users=int(raw["users"]), interaction=interaction,
+                          load=load, **kwargs)
+
+
 def spec_from_dict(document: Dict[str, Any]) -> WorkloadSpec:
     """Build a WorkloadSpec from a parsed configuration document."""
-    try:
-        raw_groups = document["workloads"]
-    except (KeyError, TypeError):
-        raise SpecError("configuration needs a top-level 'workloads' list") from None
+    if not isinstance(document, dict):
+        raise SpecError("configuration needs a top-level 'workloads' list")
+    raw_population = document.get("population")
+    population = (population_from_dict(raw_population)
+                  if raw_population is not None else None)
+    raw_groups = document.get("workloads")
+    if raw_groups is None:
+        if population is None:
+            raise SpecError(
+                "configuration needs a top-level 'workloads' list")
+        raw_groups = ()
     groups: List[WorkloadGroup] = []
     for raw_group in raw_groups:
         raw_client = raw_group["client"]
@@ -432,7 +560,8 @@ def spec_from_dict(document: Dict[str, Any]) -> WorkloadSpec:
     adversary = (AdversarySpec.from_dict(raw_adversary)
                  if raw_adversary is not None else None)
     return WorkloadSpec(tuple(groups), faults=faults, byzantine=byzantine,
-                        deadline=raw_deadline, fees=fees, adversary=adversary)
+                        deadline=raw_deadline, fees=fees, adversary=adversary,
+                        population=population)
 
 
 def load_spec(text: str) -> WorkloadSpec:
@@ -460,3 +589,20 @@ def simple_spec(interaction: Interaction, load: LoadSchedule,
             behaviors=(Behavior(interaction, load),))),),
         faults=faults, byzantine=byzantine, deadline=deadline,
         fees=fees, adversary=adversary)
+
+
+def simple_population_spec(users: int, interaction: Interaction,
+                           rate_per_user: float, duration: float,
+                           cohort: Optional[int] = None,
+                           arrival: str = "poisson",
+                           location: str = ".*", view: str = ".*",
+                           deadline: Optional[float] = None,
+                           fees: Optional[FeeSpec] = None) -> WorkloadSpec:
+    """Programmatic shorthand: one population at a constant per-user rate."""
+    return WorkloadSpec((), deadline=deadline, fees=fees,
+                        population=PopulationSpec(
+                            users=users, interaction=interaction,
+                            load=LoadSchedule.constant(rate_per_user,
+                                                       duration),
+                            cohort=cohort, arrival=arrival,
+                            location=location, view=view))

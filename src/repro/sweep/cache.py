@@ -95,16 +95,27 @@ def _source_tree_version() -> str:
 
 
 def cell_key_fields(cell: SweepCell) -> Dict[str, Any]:
-    """The named inputs a cell's cache key is derived from."""
-    spec = cell.trace.spec(accounts=cell.options.accounts,
-                           clients=cell.options.clients)
+    """The named inputs a cell's cache key is derived from.
+
+    Population cells hash the *population* spec (users, cohort, per-user
+    rate profile) plus the explicit ``population`` axis value and the
+    population options; classic cells keep exactly their original field
+    set, so existing cache entries stay valid.
+    """
+    if cell.population is not None:
+        spec = cell.trace.population_spec(
+            cell.population, rate_per_user=cell.options.rate_per_user,
+            accounts=cell.options.accounts, cohort=cell.options.cohort)
+    else:
+        spec = cell.trace.spec(accounts=cell.options.accounts,
+                               clients=cell.options.clients)
     options = {
         "drain": cell.options.drain,
         "max_sim_seconds": cell.options.max_sim_seconds,
         "watchdog_window": cell.options.watchdog_window,
         "observe": _canonical(cell.options.observe),
     }
-    return {
+    fields = {
         "cache_version": CACHE_VERSION,
         "chain": cell.chain,
         "deployment": _canonical(cell.configuration),
@@ -115,6 +126,11 @@ def cell_key_fields(cell: SweepCell) -> Dict[str, Any]:
         "options": options,
         "code_version": code_version(),
     }
+    if cell.population is not None:
+        fields["population"] = cell.population
+        options["cohort"] = cell.options.cohort
+        options["rate_per_user"] = cell.options.rate_per_user
+    return fields
 
 
 def cell_key(cell: SweepCell) -> str:

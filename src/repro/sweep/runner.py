@@ -1,10 +1,11 @@
 """Parallel sweep execution with per-cell failure isolation.
 
-Each cell runs one :func:`repro.core.runner.run_trace` in its own
-process (``--workers N``) or inline (``--workers 1``); either way a cell
-is an independent simulation with its own engine and seed, so the
-per-cell ``BenchmarkResult`` JSON is byte-identical regardless of worker
-count. A crashed cell — an exception anywhere in the stack — or a
+Each cell runs one :func:`repro.core.runner.run_trace` — or, on the
+``populations`` axis, one :func:`repro.core.runner.run_benchmark` over
+the trace's population spec (see docs/SCALE.md) — in its own process
+(``--workers N``) or inline (``--workers 1``); either way a cell is an
+independent simulation with its own engine and seed, so the per-cell
+``BenchmarkResult`` JSON is byte-identical regardless of worker count. A crashed cell — an exception anywhere in the stack — or a
 watchdog-failed run is captured as a typed :class:`CellFailure`; it never
 takes the sweep down with it.
 
@@ -22,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.results import BenchmarkResult
-from repro.core.runner import run_trace
+from repro.core.runner import run_benchmark, run_trace
 from repro.obs import MetricsRegistry
 from repro.sweep.cache import ResultCache, cell_key, cell_key_fields
 from repro.sweep.spec import SweepCell, SweepSpec
@@ -128,13 +129,25 @@ def _execute_cell(cell: SweepCell) -> Tuple[int, Optional[str],
     start = time.perf_counter()
     options = cell.options
     try:
-        result = run_trace(
-            cell.chain, cell.configuration, cell.trace,
-            accounts=options.accounts, clients=options.clients,
-            scale=cell.scale, seed=cell.seed, drain=options.drain,
-            max_sim_seconds=options.max_sim_seconds,
-            watchdog_window=options.watchdog_window,
-            observe=options.observe)
+        if cell.population is not None:
+            spec = cell.trace.population_spec(
+                cell.population, rate_per_user=options.rate_per_user,
+                accounts=options.accounts, cohort=options.cohort)
+            result = run_benchmark(
+                cell.chain, cell.configuration, spec,
+                workload_name=f"{cell.trace.name}-pop{cell.population}",
+                scale=cell.scale, seed=cell.seed, drain=options.drain,
+                max_sim_seconds=options.max_sim_seconds,
+                watchdog_window=options.watchdog_window,
+                observe=options.observe)
+        else:
+            result = run_trace(
+                cell.chain, cell.configuration, cell.trace,
+                accounts=options.accounts, clients=options.clients,
+                scale=cell.scale, seed=cell.seed, drain=options.drain,
+                max_sim_seconds=options.max_sim_seconds,
+                watchdog_window=options.watchdog_window,
+                observe=options.observe)
     except Exception as exc:  # noqa: BLE001 — isolation is the whole point
         failure = CellFailure(
             kind="crash",

@@ -16,6 +16,22 @@ factors, plus the run options every cell shares. The YAML form::
       drain: 240
       watchdog_window: 30
 
+An optional ``populations`` axis turns each workload into a population
+run at each listed user count (see docs/SCALE.md): the trace's schedule
+becomes the shape of a per-user rate profile whose mean is
+``options.rate_per_user``, so offered load grows linearly along the axis
+— the knee-finding sweep. ``populations: [null]`` (the default) keeps
+the classic client path::
+
+    sweep:
+      chains: [ethereum, solana]
+      configurations: [testnet]
+      workloads: [native-1000]
+      populations: [10000, 100000, 1000000]
+    options:
+      rate_per_user: 0.001
+      cohort: 1000
+
 Workload names come from :func:`repro.workloads.workload_registry` (the
 same vocabulary as ``python -m repro suite --workload``); programmatic
 sweeps may pass :class:`~repro.workloads.traces.Trace` objects directly.
@@ -60,6 +76,11 @@ class CellOptions:
     max_sim_seconds: Optional[float] = None
     watchdog_window: float = DEFAULT_WINDOW
     observe: Optional[ObservabilityOptions] = None
+    #: population-axis knobs (only read by cells with a population):
+    #: tracked-cohort size (None = the population default) and the mean
+    #: per-user rate the trace shape is normalized to
+    cohort: Optional[int] = None
+    rate_per_user: float = 0.001
 
     def __post_init__(self) -> None:
         if self.accounts <= 0:
@@ -68,11 +89,20 @@ class CellOptions:
             raise SpecError("options.clients must be positive")
         if self.drain < 0:
             raise SpecError("options.drain cannot be negative")
+        if self.cohort is not None and self.cohort <= 0:
+            raise SpecError("options.cohort must be positive")
+        if self.rate_per_user <= 0:
+            raise SpecError("options.rate_per_user must be positive")
 
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One (chain, deployment, trace, seed, scale) experiment cell."""
+    """One (chain, deployment, trace, seed, scale[, population]) cell.
+
+    ``population`` is ``None`` on the classic client path; a user count
+    makes the cell a population run (the trace shape normalized to
+    ``options.rate_per_user`` per user — see ``Trace.population_spec``).
+    """
 
     index: int
     chain: str
@@ -82,11 +112,15 @@ class SweepCell:
     seed: int
     scale: float
     options: CellOptions
+    population: Optional[int] = None
 
     @property
     def label(self) -> str:
-        return (f"{self.chain}/{self.configuration.name}/{self.workload}"
-                f" seed={self.seed} scale={self.scale:g}")
+        label = (f"{self.chain}/{self.configuration.name}/{self.workload}"
+                 f" seed={self.seed} scale={self.scale:g}")
+        if self.population is not None:
+            label += f" pop={self.population}"
+        return label
 
 
 @dataclass(frozen=True)
@@ -98,6 +132,7 @@ class SweepSpec:
     workloads: Tuple[Union[str, Trace], ...]
     seeds: Tuple[int, ...] = (0,)
     scales: Tuple[Optional[float], ...] = (None,)
+    populations: Tuple[Optional[int], ...] = (None,)
     options: CellOptions = field(default_factory=CellOptions)
 
     def __post_init__(self) -> None:
@@ -125,6 +160,10 @@ class SweepSpec:
         for scale in self.scales:
             if scale is not None and scale <= 0:
                 raise SpecError(f"scales must be positive, got {scale}")
+        for population in self.populations:
+            if population is not None and population <= 0:
+                raise SpecError(
+                    f"populations must be positive, got {population}")
 
     def cells(self) -> List[SweepCell]:
         """Expand the matrix into its deterministic cell ordering.
@@ -138,9 +177,10 @@ class SweepSpec:
                     else {})
         cells: List[SweepCell] = []
         product = itertools.product(self.chains, self.configurations,
-                                    self.workloads, self.seeds, self.scales)
-        for index, (chain, configuration, workload, seed, scale) in enumerate(
-                product):
+                                    self.workloads, self.seeds, self.scales,
+                                    self.populations)
+        for index, (chain, configuration, workload, seed, scale,
+                    population) in enumerate(product):
             if isinstance(configuration, str):
                 configuration = get_configuration(configuration)
             if isinstance(workload, str):
@@ -155,13 +195,17 @@ class SweepSpec:
                 trace=trace,
                 seed=seed,
                 scale=default_scale() if scale is None else float(scale),
-                options=self.options))
+                options=self.options,
+                population=(None if population is None
+                            else int(population))))
         return cells
 
     def shape(self) -> str:
         """Human-readable matrix dimensions, e.g. ``2x1x1x2x1 = 4 cells``."""
-        dims = (len(self.chains), len(self.configurations),
-                len(self.workloads), len(self.seeds), len(self.scales))
+        dims = [len(self.chains), len(self.configurations),
+                len(self.workloads), len(self.seeds), len(self.scales)]
+        if self.populations != (None,):
+            dims.append(len(self.populations))
         total = 1
         for dim in dims:
             total *= dim
@@ -192,14 +236,14 @@ def sweep_from_dict(document: Dict[str, Any]) -> SweepSpec:
     if not isinstance(matrix, dict):
         raise SpecError("'sweep' must be a mapping")
     unknown = set(matrix) - {"chains", "configurations", "workloads",
-                             "seeds", "scales"}
+                             "seeds", "scales", "populations"}
     if unknown:
         raise SpecError(f"unknown sweep keys: {', '.join(sorted(unknown))}")
     raw_options = document.get("options", {})
     if not isinstance(raw_options, dict):
         raise SpecError("'options' must be a mapping")
     known_options = {"accounts", "clients", "drain", "max_sim_seconds",
-                     "watchdog_window"}
+                     "watchdog_window", "cohort", "rate_per_user"}
     unknown = set(raw_options) - known_options
     if unknown:
         raise SpecError(f"unknown option keys: {', '.join(sorted(unknown))}")
@@ -211,6 +255,8 @@ def sweep_from_dict(document: Dict[str, Any]) -> SweepSpec:
         matrix, "seeds", required=False, default=(0,)))
     scales = tuple(None if s is None else float(s) for s in _string_tuple(
         matrix, "scales", required=False, default=(None,)))
+    populations = tuple(None if p is None else int(p) for p in _string_tuple(
+        matrix, "populations", required=False, default=(None,)))
     return SweepSpec(
         chains=tuple(str(c) for c in _string_tuple(matrix, "chains")),
         configurations=tuple(str(c) for c in _string_tuple(
@@ -218,6 +264,7 @@ def sweep_from_dict(document: Dict[str, Any]) -> SweepSpec:
         workloads=tuple(str(w) for w in _string_tuple(matrix, "workloads")),
         seeds=seeds,
         scales=scales,
+        populations=populations,
         options=options)
 
 

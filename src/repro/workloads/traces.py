@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.common.errors import ConfigurationError
+from repro.core.population import PopulationSpec
 from repro.core.spec import (
     AccountSample,
     ContractSample,
@@ -86,6 +87,37 @@ class Trace:
                                      self.function, self.args)
         return simple_spec(interaction, per_client, clients=clients,
                            fees=self.fees, adversary=self.adversary)
+
+    def population_spec(self, users: int,
+                        rate_per_user: float = 0.001,
+                        accounts: int = DEFAULT_ACCOUNTS,
+                        cohort: Optional[int] = None,
+                        arrival: str = "poisson") -> WorkloadSpec:
+        """The trace as a *population* workload (see docs/SCALE.md).
+
+        The trace's schedule provides the **shape** of the per-user rate
+        profile, normalized so its mean is ``rate_per_user`` — the total
+        offered load then grows linearly with ``users``, which is what a
+        knee-finding sweep over population sizes wants. ``cohort`` users
+        (default 1k) are individually tracked; the rest ride the
+        aggregate lane.
+        """
+        if self.average_tps <= 0:
+            raise ConfigurationError(
+                f"trace {self.name} has no load to normalize")
+        per_user = self.schedule.scaled(rate_per_user / self.average_tps)
+        account_sample = AccountSample(accounts)
+        if self.dapp is None:
+            interaction = TransferSpec(account_sample)
+        else:
+            interaction = InvokeSpec(account_sample,
+                                     ContractSample(self.dapp),
+                                     self.function, self.args)
+        return WorkloadSpec((), fees=self.fees,
+                            population=PopulationSpec(
+                                users=users, interaction=interaction,
+                                load=per_user, cohort=cohort,
+                                arrival=arrival))
 
     def summary(self) -> Dict[str, object]:
         return {

@@ -1,0 +1,126 @@
+"""The ``populations`` sweep axis: parsing, labels, caching, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SpecError
+from repro.sweep import (
+    CellOptions,
+    ResultCache,
+    SweepSpec,
+    load_sweep,
+    run_sweep,
+)
+from repro.sweep.cache import cell_key, cell_key_fields
+
+POPULATION_SWEEP_YAML = """
+sweep:
+  chains: [quorum]
+  configurations: [testnet]
+  workloads: [native-100]
+  seeds: [1]
+  scales: [0.05]
+  populations: [10000, 100000]
+options:
+  rate_per_user: 0.002
+  cohort: 50
+  accounts: 200
+"""
+
+FAST = dict(chains=("quorum",), configurations=("testnet",),
+            workloads=("native-100",), seeds=(1,), scales=(0.05,))
+
+
+class TestParsing:
+    def test_populations_axis_parses(self):
+        spec = load_sweep(POPULATION_SWEEP_YAML)
+        assert spec.populations == (10_000, 100_000)
+        assert spec.options.rate_per_user == pytest.approx(0.002)
+        assert spec.options.cohort == 50
+        assert "2 cells" in spec.shape()
+
+    def test_default_is_classic_path(self):
+        spec = load_sweep("""
+sweep:
+  chains: [quorum]
+  configurations: [testnet]
+  workloads: [native-100]
+""")
+        assert spec.populations == (None,)
+        # the shape omits the axis when it is not swept
+        assert spec.shape() == "1x1x1x1x1 = 1 cells"
+        (cell,) = spec.cells()
+        assert cell.population is None
+        assert "pop=" not in cell.label
+
+    def test_population_must_be_positive(self):
+        with pytest.raises(SpecError, match="populations must be positive"):
+            SweepSpec(populations=(0,), **FAST)
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(SpecError, match="cohort must be positive"):
+            CellOptions(cohort=0)
+        with pytest.raises(SpecError, match="rate_per_user must be"):
+            CellOptions(rate_per_user=0.0)
+
+    def test_cell_labels_carry_the_population(self):
+        spec = load_sweep(POPULATION_SWEEP_YAML)
+        labels = [cell.label for cell in spec.cells()]
+        assert labels[0].endswith("pop=10000")
+        assert labels[1].endswith("pop=100000")
+
+
+class TestCacheKeys:
+    def test_population_cells_key_differently(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "pinned")
+        spec = load_sweep(POPULATION_SWEEP_YAML)
+        small, large = spec.cells()
+        assert cell_key(small) != cell_key(large)
+        fields = cell_key_fields(small)
+        assert fields["population"] == 10_000
+        assert fields["options"]["cohort"] == 50
+        assert fields["options"]["rate_per_user"] == pytest.approx(0.002)
+
+    def test_classic_cells_keep_their_original_key_fields(self, monkeypatch):
+        # adding the axis must not orphan pre-axis cache entries
+        monkeypatch.setenv("REPRO_CODE_VERSION", "pinned")
+        spec = SweepSpec(**FAST)
+        (cell,) = spec.cells()
+        fields = cell_key_fields(cell)
+        assert "population" not in fields
+        assert "cohort" not in fields["options"]
+        assert "rate_per_user" not in fields["options"]
+
+
+class TestExecution:
+    def spec(self):
+        return SweepSpec(populations=(20_000,),
+                         options=CellOptions(accounts=200, cohort=50,
+                                             rate_per_user=0.002),
+                         **FAST)
+
+    def test_population_cell_runs_and_caches(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "pinned")
+        cache = ResultCache(tmp_path)
+        first = run_sweep(self.spec(), cache=cache)
+        (outcome,) = first.outcomes
+        assert outcome.status == "done"
+        result = outcome.result
+        assert result.population["users"] == 20_000
+        assert result.workload_name.endswith("-pop20000")
+        second = run_sweep(self.spec(), cache=cache)
+        assert second.cache_hits == 1
+        assert second.outcomes[0].result_json == outcome.result_json
+
+    def test_workers_1_vs_4_byte_identical(self):
+        spec = SweepSpec(chains=("quorum", "ethereum"),
+                         configurations=("testnet",),
+                         workloads=("native-100",), seeds=(1,),
+                         scales=(0.05,), populations=(20_000, 50_000),
+                         options=CellOptions(accounts=200, cohort=50,
+                                             rate_per_user=0.002))
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=4)
+        assert [o.result_json for o in serial.outcomes] == \
+            [o.result_json for o in parallel.outcomes]
